@@ -1,0 +1,30 @@
+# Convenience targets for the graphalign reproduction.
+
+GO ?= go
+
+.PHONY: all build test bench vet cover experiments clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure; tables land in bench_results/.
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every experiment at the default laptop scale.
+experiments:
+	$(GO) run ./cmd/alignbench -all -v -out results.txt
+
+clean:
+	rm -rf bench_results results.txt test_output.txt bench_output.txt

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain re-executes the test binary as the real CLI when RUN_ALIGNBENCH
+// is set, so integration tests below can drive main() without a separate
+// build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("RUN_ALIGNBENCH") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RUN_ALIGNBENCH=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestListExperiments(t *testing.T) {
+	out, err := run(t, "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, id := range []string{"fig1", "fig16", "table1", "table3", "ablation-cone-dim"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := run(t, "-exp", "table1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, name := range []string{"IsoRank", "GRASP", "S-GWL"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table1 output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunExperimentToFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	// A tiny real experiment: two fast algorithms, minimal scale.
+	out, err := run(t, "-exp", "fig9", "-scale", "0.05", "-reps", "1",
+		"-algos", "NSD,REGAL", "-out", path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "NSD") || !strings.Contains(string(data), "REGAL") {
+		t.Errorf("result file missing algorithm rows:\n%s", data)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	out, err := run(t, "-exp", "figZZ")
+	if err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestNoArguments(t *testing.T) {
+	if _, err := run(t); err == nil {
+		t.Fatal("no-argument invocation should exit non-zero")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out, err := run(t, "-exp", "table1", "-format", "csv")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "algorithm,") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+	if strings.Contains(out, "##") {
+		t.Error("csv output must not contain text-format headers")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	if out, err := run(t, "-exp", "table1", "-format", "yaml"); err == nil {
+		t.Errorf("unknown format accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphalign"
+	"graphalign/internal/gen"
+	"graphalign/internal/noise"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("RUN_ALIGNRUN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RUN_ALIGNRUN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// writeInstance creates a base/noisy pair of edge-list files plus a truth
+// file, returning their paths.
+func writeInstance(t *testing.T) (src, dst, truth string) {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4))
+	base := gen.PowerlawCluster(80, 3, 0.3, rng)
+	pair, err := noise.Apply(base, noise.OneWay, 0.01, noise.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = filepath.Join(dir, "src.edges")
+	dst = filepath.Join(dir, "dst.edges")
+	truth = filepath.Join(dir, "truth.txt")
+	if err := graphalign.WriteGraphFile(src, pair.Source); err != nil {
+		t.Fatal(err)
+	}
+	if err := graphalign.WriteGraphFile(dst, pair.Target); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	for u, v := range pair.TrueMap {
+		fmt.Fprintf(w, "%d %d\n", u, v)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return src, dst, truth
+}
+
+func TestAlignWithTruth(t *testing.T) {
+	src, dst, truth := writeInstance(t)
+	out, err := run(t, "-algo", "IsoRank", "-src", src, "-dst", dst, "-truth", truth, "-q")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "accuracy=") {
+		t.Errorf("metrics line missing accuracy:\n%s", out)
+	}
+	if !strings.Contains(out, "S3=") || !strings.Contains(out, "MNC=") {
+		t.Errorf("metrics line incomplete:\n%s", out)
+	}
+}
+
+func TestMappingOutput(t *testing.T) {
+	src, dst, _ := writeInstance(t)
+	out, err := run(t, "-algo", "NSD", "-assign", "SG", "-src", src, "-dst", dst)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// Mapping lines: "label label" pairs, one per source node.
+	lines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(strings.TrimSpace(line), " ") == 1 && !strings.Contains(line, "=") {
+			lines++
+		}
+	}
+	if lines < 70 {
+		t.Errorf("expected ~80 mapping lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestMissingArguments(t *testing.T) {
+	if _, err := run(t, "-algo", "NSD"); err == nil {
+		t.Error("missing -src/-dst accepted")
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	src, dst, _ := writeInstance(t)
+	if out, err := run(t, "-algo", "Nope", "-src", src, "-dst", dst); err == nil {
+		t.Errorf("unknown algorithm accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+// Protein-interaction network alignment: the paper's biology scenario,
+// where corresponding proteins across network variants must be identified
+// by structure alone.
+//
+// This example uses the MultiMagna-style evolving dataset: a base
+// protein-interaction network aligned against variants that retain 80-99%
+// of its interactions (exactly the protocol of the paper's Section 6.5),
+// comparing IsoRank — the classic PPI aligner — against S-GWL and GRASP on
+// the structural quality measures biologists care about (EC, ICS, S3).
+//
+//	go run ./examples/ppi
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"graphalign"
+	"graphalign/internal/data"
+)
+
+func main() {
+	fractions := []float64{0.80, 0.90, 0.99}
+	pairs, err := data.EvolvingVariantsScaled("multimagna", fractions, 0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base PPI network: %v\n\n", pairs[0].Source)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "variant\talgorithm\taccuracy\tEC\tICS\tS3")
+	for i, pair := range pairs {
+		for _, name := range []string{"IsoRank", "S-GWL", "GRASP"} {
+			mapping, err := graphalign.Align(name, pair.Source, pair.Target, graphalign.JV)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := graphalign.Evaluate(pair.Source, pair.Target, mapping, pair.TrueMap)
+			fmt.Fprintf(w, "%.0f%%\t%s\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				fractions[i]*100, name, s.Accuracy, s.EC, s.ICS, s.S3)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nNote: accuracy asks for the *same* protein; EC/ICS/S3 reward")
+	fmt.Println("finding proteins that play the same structural role, which is")
+	fmt.Println("the biologically meaningful notion when species differ.")
+}

@@ -1,0 +1,67 @@
+// Social-network re-identification: the paper's motivating scenario of
+// finding the same user across two snapshots of a social network.
+//
+// This example loads the Facebook stand-in dataset (scaled down), simulates
+// a second snapshot that lost 5% of its friendships, and compares several
+// alignment algorithms under the study's common JV assignment, plus the
+// effect of cheaper assignment methods on the best performer.
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"graphalign"
+	"graphalign/internal/data"
+	"graphalign/internal/noise"
+)
+
+func main() {
+	// A 400-node slice of the Facebook-like stand-in.
+	g, err := data.LoadScaled("facebook", 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social network snapshot: %v (avg degree %.1f)\n", g, g.AvgDegree())
+
+	rng := rand.New(rand.NewSource(7))
+	pair, err := noise.Apply(g, noise.OneWay, 0.05, noise.Options{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second snapshot: %v (5%% of friendships lost, users shuffled)\n\n", pair.Target)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\taccuracy\tMNC\ttime")
+	for _, name := range []string{"IsoRank", "NSD", "REGAL", "S-GWL", "CONE"} {
+		start := time.Now()
+		mapping, err := graphalign.Align(name, pair.Source, pair.Target, graphalign.JV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := graphalign.Evaluate(pair.Source, pair.Target, mapping, pair.TrueMap)
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%s\n", name, s.Accuracy, s.MNC, time.Since(start).Round(time.Millisecond))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The study's Section 6.2 finding: exact LAP solvers (JV) improve over
+	// the heuristics, at an assignment-time cost. Demonstrate on S-GWL.
+	fmt.Println("\nassignment method on S-GWL:")
+	for _, method := range []graphalign.AssignMethod{graphalign.NN, graphalign.SG, graphalign.JV} {
+		start := time.Now()
+		mapping, err := graphalign.Align("S-GWL", pair.Source, pair.Target, method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := graphalign.Evaluate(pair.Source, pair.Target, mapping, pair.TrueMap)
+		fmt.Printf("  %-3s accuracy %.3f (total %s)\n", method, s.Accuracy, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module graphalign
+
+go 1.24

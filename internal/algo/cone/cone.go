@@ -1,0 +1,373 @@
+// Package cone implements CONE-Align (Chen, Heimann, Vahedian, Koutra
+// 2020): proximity-preserving node embeddings computed per graph, followed
+// by embedding-subspace alignment that alternates a Wasserstein step
+// (Sinkhorn) for the node correspondence P with a Procrustes step (SVD) for
+// the orthogonal basis rotation Q (Equation 12 of the survey).
+//
+// Base embeddings use a NetMF-style factorization of the truncated
+// random-walk proximity matrix, computed with this repository's own SVD
+// (see DESIGN.md, substitution 5).
+package cone
+
+import (
+	"errors"
+	"math"
+
+	"graphalign/internal/algo/nsd"
+	"graphalign/internal/algo/regal"
+	"graphalign/internal/assign"
+	"graphalign/internal/graph"
+	"graphalign/internal/linalg"
+	"graphalign/internal/matrix"
+	"graphalign/internal/ot"
+)
+
+// CONE aligns graphs by embedding-space alignment.
+type CONE struct {
+	// Dim is the embedding dimensionality (the study tunes 512 for large
+	// graphs; it is clamped to n-1).
+	Dim int
+	// Window is the random-walk window of the NetMF proximity (original: 10).
+	Window int
+	// NegSamples is NetMF's negative sampling constant (original: 1).
+	NegSamples float64
+	// Iters is the number of Wasserstein/Procrustes alternations
+	// (original: ~50, preceded by a short warm start).
+	Iters int
+	// SinkhornEps and SinkhornIters configure the Wasserstein step.
+	SinkhornEps   float64
+	SinkhornIters int
+}
+
+// New returns CONE with the study's tuned hyperparameters (dim=512).
+func New() *CONE {
+	return &CONE{Dim: 512, Window: 10, NegSamples: 1, Iters: 20, SinkhornEps: 0.05, SinkhornIters: 50}
+}
+
+// Name implements algo.Aligner.
+func (c *CONE) Name() string { return "CONE" }
+
+// DefaultAssignment implements algo.Aligner; CONE extracts alignments by
+// nearest neighbor over aligned embeddings.
+func (c *CONE) DefaultAssignment() assign.Method { return assign.NearestNeighbor }
+
+// Embed computes the NetMF-style proximity embedding of one graph.
+func (c *CONE) Embed(g *graph.Graph) (*matrix.Dense, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("cone: empty graph")
+	}
+	dim := c.Dim
+	if dim > n-1 {
+		dim = n - 1
+	}
+	if dim < 1 {
+		dim = 1
+	}
+	window := c.Window
+	if window < 1 {
+		window = 1
+	}
+	// M = vol/(window*b) * (sum_{r=1..window} P^r) D^-1, entrywise
+	// log(max(M, 1)).
+	p := graph.RowNormalizedAdjacency(g) // D^-1 A
+	// Accumulate powers times D^-1 densely (n x n); CONE's own
+	// implementation does the same for exactness on benchmark-scale graphs.
+	acc := matrix.NewDense(n, n)
+	cur := p.ToDense()
+	for r := 1; r <= window; r++ {
+		acc.AddScaled(cur, 1)
+		if r < window {
+			cur = mulCSRDense(p, cur)
+		}
+	}
+	vol := 2 * float64(g.M())
+	coef := vol / (float64(window) * c.NegSamples)
+	for i := 0; i < n; i++ {
+		row := acc.Row(i)
+		for j := 0; j < n; j++ {
+			d := g.Degree(j)
+			v := 0.0
+			if d > 0 {
+				v = coef * row[j] / float64(d)
+			}
+			if v < 1 {
+				v = 1
+			}
+			row[j] = math.Log(v)
+		}
+	}
+	// The NetMF matrix is symmetric, so its SVD comes cheaply from the
+	// symmetric eigendecomposition.
+	u, s, _, err := linalg.TopKSVDSym(acc, dim)
+	if err != nil {
+		return nil, err
+	}
+	emb := matrix.NewDense(n, dim)
+	for j := 0; j < dim; j++ {
+		f := math.Sqrt(math.Max(s[j], 0))
+		for i := 0; i < n; i++ {
+			emb.Set(i, j, u.At(i, j)*f)
+		}
+	}
+	// Row-normalize: CONE aligns directions of embeddings.
+	for i := 0; i < n; i++ {
+		matrix.Normalize(emb.Row(i))
+	}
+	return emb, nil
+}
+
+// AlignEmbeddings runs the alternating Wasserstein/Procrustes refinement
+// and returns the rotated source embeddings alongside the target ones. The
+// initial correspondence comes from the warmStart plan (the original's
+// convex Frank–Wolfe initialization is replaced by a degree-prior plan —
+// both serve only to break the orthogonal ambiguity between the two
+// independently computed embeddings).
+func (c *CONE) AlignEmbeddings(ySrc, yDst, warmStart *matrix.Dense) (*matrix.Dense, *matrix.Dense) {
+	n1, n2 := ySrc.Rows, yDst.Rows
+	mu := ot.UniformWeights(n1)
+	nu := ot.UniformWeights(n2)
+	iters := c.Iters
+	if iters < 1 {
+		iters = 1
+	}
+	rotated := ySrc.Clone()
+	if warmStart != nil {
+		// One Procrustes step against the warm-start correspondence.
+		target := matrix.Mul(warmStart, yDst).Scale(float64(n1))
+		q := linalg.PolarOrthogonal(matrix.Mul(ySrc.T(), target))
+		rotated = matrix.Mul(ySrc, q)
+	}
+	for it := 0; it < iters; it++ {
+		// Wasserstein step: transport between rotated source and target.
+		cost := matrix.NewDense(n1, n2)
+		for i := 0; i < n1; i++ {
+			ri := rotated.Row(i)
+			row := cost.Row(i)
+			for j := 0; j < n2; j++ {
+				rj := yDst.Row(j)
+				var d2 float64
+				for k := range ri {
+					dd := ri[k] - rj[k]
+					d2 += dd * dd
+				}
+				row[j] = d2
+			}
+		}
+		plan := ot.Sinkhorn(cost, mu, nu, c.SinkhornEps, c.SinkhornIters)
+		// Procrustes step: Q = argmin ||Ysrc Q - P Ydst|| = U Vᵀ from the
+		// SVD of Ysrcᵀ (n1 P Ydst).
+		target := matrix.Mul(plan, yDst).Scale(float64(n1)) // n1 x d
+		q := linalg.PolarOrthogonal(matrix.Mul(ySrc.T(), target))
+		rotated = matrix.Mul(ySrc, q)
+	}
+	return rotated, yDst
+}
+
+// alignmentDim returns the number of leading embedding columns used for
+// subspace alignment and matching: at most 128 (NetMF columns are ordered
+// by singular value, so the leading block carries the structural signal and
+// the Procrustes step costs O(d^3)), and at most a third of the node count.
+// The second cap is what makes the warm start corrective rather than
+// self-fulfilling: with d close to n, an orthogonal map exists that
+// realizes ANY anchor correspondence exactly (the rotation memorizes the
+// anchor, errors included); with d << n the rotation is over-constrained by
+// the anchor's correct majority and the embedding geometry overrules its
+// errors.
+func alignmentDim(n int) int {
+	d := n / 3
+	if d > 128 {
+		d = 128
+	}
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// Similarity implements algo.Aligner. The orthogonal ambiguity between the
+// two independently computed embeddings is broken by a warm start (the
+// original uses a convex Frank–Wolfe initialization for the same purpose):
+// hard one-to-one correspondences obtained from cheap structural
+// similarities (NSD, REGAL) are tried as Procrustes anchors, short pilot
+// alternations score each candidate by its mean nearest-neighbor distance,
+// and the full alternation continues from the winner. A partially correct
+// anchor suffices — its correct mass dominates the rotation estimate while
+// its errors average out.
+func (c *CONE) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	ySrc, err := c.Embed(src)
+	if err != nil {
+		return nil, err
+	}
+	yDst, err := c.Embed(dst)
+	if err != nil {
+		return nil, err
+	}
+	// Pad the smaller embedding with zero columns so Procrustes operates in
+	// a common space, then truncate to the alignment subspace.
+	if ySrc.Cols != yDst.Cols {
+		d := ySrc.Cols
+		if yDst.Cols > d {
+			d = yDst.Cols
+		}
+		ySrc = padCols(ySrc, d)
+		yDst = padCols(yDst, d)
+	}
+	if d := alignmentDim(minInt(src.N(), dst.N())); ySrc.Cols > d {
+		ySrc = leadingCols(ySrc, d)
+		yDst = leadingCols(yDst, d)
+	}
+
+	warms, err := c.warmStarts(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	best := warms[0]
+	if len(warms) > 1 {
+		bestObj := math.Inf(1)
+		pilot := *c
+		pilot.Iters = 4
+		for _, w := range warms {
+			rot, yd := pilot.AlignEmbeddings(ySrc, yDst, w)
+			if obj := meanNNDistance(rot, yd); obj < bestObj {
+				bestObj = obj
+				best = w
+			}
+		}
+	}
+	rot, yd := c.AlignEmbeddings(ySrc, yDst, best)
+	return regal.EmbeddingSimilarity(rot, yd), nil
+}
+
+// warmStarts builds the candidate anchor plans: hard JV matchings of the
+// NSD and REGAL similarities, as transport-plan-shaped matrices.
+func (c *CONE) warmStarts(src, dst *graph.Graph) ([]*matrix.Dense, error) {
+	var out []*matrix.Dense
+	nsdSim, err := nsd.New().Similarity(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, permutationPlan(assign.SolveJV(nsdSim), dst.N()))
+	regalSim, err := regal.New().Similarity(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, permutationPlan(assign.SolveJV(regalSim), dst.N()))
+	return out, nil
+}
+
+// permutationPlan lifts a hard mapping into a transport plan with uniform
+// mass on the matched pairs.
+func permutationPlan(mapping []int, cols int) *matrix.Dense {
+	n := len(mapping)
+	w := matrix.NewDense(n, cols)
+	if n == 0 {
+		return w
+	}
+	mass := 1 / float64(n)
+	for i, j := range mapping {
+		if j >= 0 && j < cols {
+			w.Set(i, j, mass)
+		}
+	}
+	return w
+}
+
+// leadingCols returns the first k columns as a new matrix with rows
+// re-normalized (Embed normalizes full-dimension rows).
+func leadingCols(m *matrix.Dense, k int) *matrix.Dense {
+	out := matrix.NewDense(m.Rows, k)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[:k])
+		matrix.Normalize(out.Row(i))
+	}
+	return out
+}
+
+// meanNNDistance is the pilot-selection objective: the mean squared
+// distance from each aligned source row to its nearest target row.
+func meanNNDistance(a, b *matrix.Dense) float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < a.Rows; i++ {
+		ri := a.Row(i)
+		best := math.Inf(1)
+		for j := 0; j < b.Rows; j++ {
+			rj := b.Row(j)
+			var d2 float64
+			for k := range ri {
+				d := ri[k] - rj[k]
+				d2 += d * d
+			}
+			if d2 < best {
+				best = d2
+			}
+		}
+		total += best
+	}
+	return total / float64(a.Rows)
+}
+
+// SharpenRows zeroes all but the k largest entries of each row and
+// normalizes each row to unit sum, turning a dense similarity into a sparse
+// soft correspondence (exported for warm-start experimentation).
+func SharpenRows(m *matrix.Dense, k int) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		// Find the k-th largest value by partial selection.
+		if k < len(row) {
+			vals := append([]float64(nil), row...)
+			for a := 0; a < k; a++ {
+				best := a
+				for b := a + 1; b < len(vals); b++ {
+					if vals[b] > vals[best] {
+						best = b
+					}
+				}
+				vals[a], vals[best] = vals[best], vals[a]
+			}
+			thresh := vals[k-1]
+			for j, v := range row {
+				if v < thresh {
+					row[j] = 0
+				}
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum > 0 {
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+	}
+	// Scale to total mass 1 so it acts like a transport plan.
+	m.Scale(1 / float64(m.Rows))
+}
+
+// mulCSRDense returns s*d for CSR s.
+func mulCSRDense(s *matrix.CSR, d *matrix.Dense) *matrix.Dense {
+	return s.MulDense(d)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func padCols(m *matrix.Dense, cols int) *matrix.Dense {
+	if m.Cols == cols {
+		return m
+	}
+	out := matrix.NewDense(m.Rows, cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i)[:m.Cols], m.Row(i))
+	}
+	return out
+}

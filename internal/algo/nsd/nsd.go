@@ -1,0 +1,113 @@
+// Package nsd implements Network Similarity Decomposition (Kollias,
+// Mohammadi, Grama 2011): a rank-decomposed approximation of the IsoRank
+// iteration. Instead of iterating on the full n x m similarity matrix, NSD
+// iterates component vectors w and z through the degree-normalized
+// adjacency operators and combines their outer products (Equations 3–5 of
+// the survey).
+package nsd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"graphalign/internal/algo"
+	"graphalign/internal/assign"
+	"graphalign/internal/graph"
+	"graphalign/internal/linalg"
+	"graphalign/internal/matrix"
+)
+
+// NSD aligns graphs via the decomposed IsoRank power series.
+type NSD struct {
+	// Alpha is the damping factor of the power series; the study tunes 0.8.
+	Alpha float64
+	// Iters is the number n of power-series terms.
+	Iters int
+	// Components is the number s of rank-one components drawn from the
+	// prior's SVD. With a degree prior the first components dominate.
+	Components int
+}
+
+// New returns NSD with the study's tuned hyperparameters.
+func New() *NSD {
+	return &NSD{Alpha: 0.8, Iters: 15, Components: 3}
+}
+
+// Name implements algo.Aligner.
+func (n *NSD) Name() string { return "NSD" }
+
+// DefaultAssignment implements algo.Aligner; NSD was proposed with
+// SortGreedy.
+func (n *NSD) DefaultAssignment() assign.Method { return assign.SortGreedy }
+
+// Similarity implements algo.Aligner. The prior matrix H = w zᵀ is the
+// degree-similarity prior of the study, decomposed into its top
+// s singular triplets; each component is iterated independently:
+//
+//	X_i^(n) = (1-alpha) sum_k alpha^k w_i^(k) z_i^(k)ᵀ + alpha^n w_i^(n) z_i^(n)ᵀ
+//
+// with w_i^(k) = (D_dst^-1 A_dst)^k w_i and z_i^(k) = (D_src^-1 A_src)^k z_i.
+func (n *NSD) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	ns, nd := src.N(), dst.N()
+	if ns == 0 || nd == 0 {
+		return nil, errors.New("nsd: empty graph")
+	}
+	iters := n.Iters
+	if iters <= 0 {
+		iters = 15
+	}
+	comps := n.Components
+	if comps <= 0 {
+		comps = 1
+	}
+
+	prior := algo.DegreePrior(src, dst) // ns x nd
+	// Top-s SVD of the prior gives the component vectors: prior ≈
+	// Σ s_i u_i v_iᵀ, so z_i = sqrt(s_i) u_i (source side) and w_i =
+	// sqrt(s_i) v_i (target side). The prior's spectrum decays fast, so the
+	// randomized truncated SVD recovers the leading triplets at O(n^2 s)
+	// cost (the full Jacobi SVD would dominate NSD's runtime).
+	rng := rand.New(rand.NewSource(1))
+	u, sv, v := linalg.TruncatedSVD(prior, comps, 3, rng)
+	if len(sv) == 0 {
+		return nil, errors.New("nsd: degenerate prior")
+	}
+
+	tSrc := graph.RowNormalizedAdjacency(src)
+	tDst := graph.RowNormalizedAdjacency(dst)
+
+	sim := matrix.NewDense(ns, nd)
+	alpha := n.Alpha
+	for c := 0; c < len(sv); c++ {
+		scale := sqrtAbs(sv[c])
+		z := make([]float64, ns)
+		w := make([]float64, nd)
+		for i := 0; i < ns; i++ {
+			z[i] = scale * u.At(i, c)
+		}
+		for j := 0; j < nd; j++ {
+			w[j] = scale * v.At(j, c)
+		}
+		coef := 1 - alpha
+		ak := 1.0
+		for k := 0; k <= iters; k++ {
+			weight := coef * ak
+			if k == iters {
+				weight = ak // the closing alpha^n term
+			}
+			sim.AddOuterScaled(z, w, weight)
+			if k == iters {
+				break
+			}
+			z = tSrc.MulVec(z)
+			w = tDst.MulVec(w)
+			ak *= alpha
+		}
+	}
+	return sim, nil
+}
+
+func sqrtAbs(x float64) float64 {
+	return math.Sqrt(math.Abs(x))
+}

@@ -1,0 +1,190 @@
+// Package assign implements the four assignment (matching-extraction)
+// strategies the paper compares in Section 6.2: NearestNeighbor (NN),
+// SortGreedy (SG), the Hungarian algorithm for maximum weight matching
+// (MWM), and the Jonker–Volgenant shortest-augmenting-path LAP solver (JV).
+//
+// Every solver consumes a similarity matrix S where S.At(i, j) is the score
+// of matching source node i to target node j (higher is better) and returns
+// a mapping from source to target nodes. The exact solvers (MWM, JV)
+// maximize the total similarity of a one-to-one assignment.
+package assign
+
+import (
+	"fmt"
+	"sort"
+
+	"graphalign/internal/matrix"
+)
+
+// Method identifies an assignment strategy.
+type Method string
+
+// The four assignment methods from the paper.
+const (
+	NearestNeighbor Method = "NN"
+	SortGreedy      Method = "SG"
+	Hungarian       Method = "MWM"
+	JonkerVolgenant Method = "JV"
+)
+
+// Methods lists all assignment methods in the paper's order.
+func Methods() []Method {
+	return []Method{NearestNeighbor, SortGreedy, Hungarian, JonkerVolgenant}
+}
+
+// Solve dispatches to the requested method. The similarity matrix must have
+// Rows <= Cols (source no larger than target); mapping[i] is the target
+// assigned to source i (always >= 0 for the one-to-one methods; NN may
+// repeat targets).
+func Solve(method Method, sim *matrix.Dense) ([]int, error) {
+	if sim.Rows > sim.Cols {
+		return nil, fmt.Errorf("assign: source larger than target (%d > %d)", sim.Rows, sim.Cols)
+	}
+	switch method {
+	case NearestNeighbor:
+		return SolveNN(sim), nil
+	case SortGreedy:
+		return SolveGreedy(sim), nil
+	case Hungarian:
+		return SolveHungarian(sim), nil
+	case JonkerVolgenant:
+		return SolveJV(sim), nil
+	default:
+		return nil, fmt.Errorf("assign: unknown method %q", method)
+	}
+}
+
+// SolveNN assigns each source row its highest-similarity target column,
+// allowing many-to-one matches. This mirrors the raw nearest-neighbor
+// extraction used by REGAL/CONE/GWL/S-GWL before the paper restricts them to
+// one-to-one outputs.
+func SolveNN(sim *matrix.Dense) []int {
+	mapping := make([]int, sim.Rows)
+	for i := 0; i < sim.Rows; i++ {
+		row := sim.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		mapping[i] = best
+	}
+	return mapping
+}
+
+// pair is a candidate match considered by SortGreedy.
+type pair struct {
+	i, j int
+	v    float64
+}
+
+// SolveGreedy implements SortGreedy: sort all (i, j) pairs by similarity
+// descending and accept a pair whenever both endpoints are still unmatched.
+// Ties are broken by (i, j) order for determinism. The result is a maximal
+// one-to-one matching.
+func SolveGreedy(sim *matrix.Dense) []int {
+	n, m := sim.Rows, sim.Cols
+	pairs := make([]pair, 0, n*m)
+	for i := 0; i < n; i++ {
+		row := sim.Row(i)
+		for j, v := range row {
+			pairs = append(pairs, pair{i, j, v})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].v != pairs[b].v {
+			return pairs[a].v > pairs[b].v
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedCol := make([]bool, m)
+	matched := 0
+	for _, p := range pairs {
+		if matched == n {
+			break
+		}
+		if mapping[p.i] != -1 || usedCol[p.j] {
+			continue
+		}
+		mapping[p.i] = p.j
+		usedCol[p.j] = true
+		matched++
+	}
+	return mapping
+}
+
+// TotalSimilarity returns the sum of sim over a mapping (useful in tests and
+// for comparing solvers); unmatched rows (mapping[i] < 0) contribute zero.
+func TotalSimilarity(sim *matrix.Dense, mapping []int) float64 {
+	var s float64
+	for i, j := range mapping {
+		if j >= 0 {
+			s += sim.At(i, j)
+		}
+	}
+	return s
+}
+
+// EnforceOneToOne converts a possibly many-to-one mapping into a one-to-one
+// mapping: source rows keep their target when they are its unique claimant
+// with the highest similarity; losers are re-assigned greedily among the
+// remaining columns. This is the paper's restriction of NN-based methods to
+// one-to-one outputs.
+func EnforceOneToOne(sim *matrix.Dense, mapping []int) []int {
+	n, m := sim.Rows, sim.Cols
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	owner := make([]int, m)
+	for j := range owner {
+		owner[j] = -1
+	}
+	for i, j := range mapping {
+		if j < 0 || j >= m {
+			continue
+		}
+		if owner[j] == -1 || sim.At(i, j) > sim.At(owner[j], j) {
+			owner[j] = i
+		}
+	}
+	usedCol := make([]bool, m)
+	for j, i := range owner {
+		if i >= 0 {
+			out[i] = j
+			usedCol[j] = true
+		}
+	}
+	// Re-assign the losers greedily by best remaining column.
+	var losers []int
+	for i, j := range out {
+		if j == -1 {
+			losers = append(losers, i)
+		}
+	}
+	for _, i := range losers {
+		best, bestV := -1, 0.0
+		row := sim.Row(i)
+		for j, v := range row {
+			if usedCol[j] {
+				continue
+			}
+			if best == -1 || v > bestV {
+				best, bestV = j, v
+			}
+		}
+		if best >= 0 {
+			out[i] = best
+			usedCol[best] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package assign
+
+import (
+	"sort"
+
+	"graphalign/internal/matrix"
+)
+
+// SolveGreedyTopK is SortGreedy restricted to each row's k highest-scoring
+// candidates. The paper's Section 6.2 notes that on large graphs the cost
+// of exact LAP solvers is not worth their small quality edge and recommends
+// lightweight extraction; limiting each node to its top-k candidates drops
+// the candidate pool from n*m to n*k, which is the difference between
+// O(nm log(nm)) and O(nk log(nk)) sorting.
+//
+// Rows whose top-k candidates are all taken fall back to any free column
+// (lowest index), so the result is always a maximal one-to-one matching.
+func SolveGreedyTopK(sim *matrix.Dense, k int) []int {
+	n, m := sim.Rows, sim.Cols
+	if k <= 0 || k > m {
+		k = m
+	}
+	pairs := make([]pair, 0, n*k)
+	idx := make([]int, m)
+	for i := 0; i < n; i++ {
+		row := sim.Row(i)
+		for j := range idx {
+			idx[j] = j
+		}
+		// Partial selection of the k largest entries.
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+		for _, j := range idx[:k] {
+			pairs = append(pairs, pair{i, j, row[j]})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].v != pairs[b].v {
+			return pairs[a].v > pairs[b].v
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	usedCol := make([]bool, m)
+	matched := 0
+	for _, p := range pairs {
+		if matched == n {
+			break
+		}
+		if mapping[p.i] != -1 || usedCol[p.j] {
+			continue
+		}
+		mapping[p.i] = p.j
+		usedCol[p.j] = true
+		matched++
+	}
+	// Fallback for starved rows: any free column keeps the matching
+	// maximal (these rows had no surviving top-k candidate).
+	if matched < n && n <= m {
+		free := make([]int, 0, m-matched)
+		for j := 0; j < m; j++ {
+			if !usedCol[j] {
+				free = append(free, j)
+			}
+		}
+		fi := 0
+		for i := 0; i < n && fi < len(free); i++ {
+			if mapping[i] == -1 {
+				mapping[i] = free[fi]
+				usedCol[free[fi]] = true
+				fi++
+			}
+		}
+	}
+	return mapping
+}

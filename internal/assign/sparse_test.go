@@ -1,0 +1,81 @@
+package assign
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphalign/internal/matrix"
+)
+
+func TestGreedyTopKFullEqualsGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		sim := randomSim(8, 8, seed)
+		full := SolveGreedy(sim)
+		topAll := SolveGreedyTopK(sim, 8)
+		for i := range full {
+			if full[i] != topAll[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyTopKOneToOneAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		sim := randomSim(10, 12, seed)
+		m := SolveGreedyTopK(sim, 2)
+		return isOneToOne(m, 12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyTopKQualityNearGreedy(t *testing.T) {
+	// On a similarity matrix with a clear diagonal signal, top-3 greedy
+	// should recover nearly the same total as full greedy.
+	n := 40
+	sim := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := 0.1
+			if i == j {
+				v = 1
+			}
+			sim.Set(i, j, v)
+		}
+	}
+	full := TotalSimilarity(sim, SolveGreedy(sim))
+	topk := TotalSimilarity(sim, SolveGreedyTopK(sim, 3))
+	if topk < full*0.99 {
+		t.Errorf("top-k total %v well below full %v", topk, full)
+	}
+}
+
+func TestGreedyTopKDegenerateK(t *testing.T) {
+	sim := randomSim(5, 5, 1)
+	for _, k := range []int{0, -3, 100} {
+		m := SolveGreedyTopK(sim, k)
+		if !isOneToOne(m, 5) {
+			t.Errorf("k=%d mapping invalid: %v", k, m)
+		}
+	}
+}
+
+func TestGreedyTopKStarvedRowsFallBack(t *testing.T) {
+	// All rows prefer column 0; with k=1 only one row gets it and the rest
+	// must fall back to free columns.
+	sim := matrix.DenseFromRows([][]float64{
+		{1, 0, 0},
+		{0.9, 0, 0},
+		{0.8, 0, 0},
+	})
+	m := SolveGreedyTopK(sim, 1)
+	if !isOneToOne(m, 3) {
+		t.Fatalf("starved mapping invalid: %v", m)
+	}
+}

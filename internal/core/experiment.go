@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"graphalign/internal/assign"
+	"graphalign/internal/data"
+	"graphalign/internal/graph"
+	"graphalign/internal/noise"
+)
+
+// Options configure an experiment run. The zero value is not usable; call
+// DefaultOptions and override fields.
+type Options struct {
+	// Factory instantiates algorithms by name (required).
+	Factory Factory
+	// Scale shrinks the paper's graph sizes to fit the local machine;
+	// 1.0 reproduces the paper's sizes exactly. See DESIGN.md
+	// substitution 6.
+	Scale float64
+	// Reps is the number of noisy instances averaged per point (the paper
+	// uses 10 for synthetic graphs and 5 for the high-noise and
+	// scalability experiments).
+	Reps int
+	// Algorithms restricts the algorithm set; nil means all nine.
+	Algorithms []string
+	// Seed drives all randomness.
+	Seed int64
+	// PerRunBudget skips an algorithm for the remaining (larger) points of
+	// a scalability sweep once a single run exceeds it — the analogue of
+	// the paper's 3-hour limit. Zero means no limit.
+	PerRunBudget time.Duration
+	// MaxNodes caps dataset stand-in sizes regardless of Scale — the
+	// analogue of the paper's memory/time limits on one machine. Zero
+	// means no cap.
+	MaxNodes int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(format string, args ...interface{})
+}
+
+// DefaultOptions returns options sized for a laptop-class machine.
+func DefaultOptions(f Factory) Options {
+	return Options{
+		Factory:      f,
+		Scale:        0.2,
+		Reps:         3,
+		Seed:         42,
+		PerRunBudget: 2 * time.Minute,
+		MaxNodes:     800,
+	}
+}
+
+// AllAlgorithms is the paper's Table 1 order.
+var AllAlgorithms = []string{"IsoRank", "GRAAL", "NSD", "LREA", "REGAL", "GWL", "S-GWL", "CONE", "GRASP"}
+
+func (o *Options) algorithms() []string {
+	if len(o.Algorithms) > 0 {
+		return o.Algorithms
+	}
+	return AllAlgorithms
+}
+
+func (o *Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// scaledN shrinks a paper-sized node count by Scale with a sane floor.
+func (o *Options) scaledN(paperN int) int {
+	s := o.Scale
+	if s <= 0 {
+		s = 0.2
+	}
+	n := int(float64(paperN) * s)
+	if n < 100 {
+		n = 100
+	}
+	if n > paperN {
+		n = paperN
+	}
+	return n
+}
+
+// loadDataset loads a Table 2 stand-in at the experiment's effective scale,
+// additionally capped at MaxNodes.
+func (o *Options) loadDataset(name string) (*graph.Graph, error) {
+	d, err := data.Describe(name)
+	if err != nil {
+		return nil, err
+	}
+	scale := o.effectiveScale()
+	if o.MaxNodes > 0 && float64(d.N)*scale > float64(o.MaxNodes) {
+		scale = float64(o.MaxNodes) / float64(d.N)
+	}
+	return data.LoadScaled(name, scale)
+}
+
+// Experiment binds a paper artifact (figure or table) to the code that
+// regenerates it.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+var experiments = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := experiments[e.ID]; dup {
+		panic("core: duplicate experiment id " + e.ID)
+	}
+	experiments[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	if e, ok := experiments[id]; ok {
+		return e, nil
+	}
+	ids := IDs()
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have %v)", id, ids)
+}
+
+// IDs returns all experiment ids sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// noisyInstances builds Reps alignment instances from a base graph.
+func noisyInstances(base *graph.Graph, t noise.Type, level float64, opts Options, nopts noise.Options, rng *rand.Rand) ([]noise.Pair, error) {
+	reps := opts.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]noise.Pair, 0, reps)
+	for r := 0; r < reps; r++ {
+		p, err := noise.Apply(base, t, level, nopts, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// runAveraged instantiates the named algorithm, runs it over all instances
+// with the given assignment method, and returns the averaged result. A
+// factory error is returned; per-run errors are folded into RunResult.Err.
+func runAveraged(opts Options, name string, pairs []noise.Pair, method assign.Method) (RunResult, error) {
+	a, err := opts.Factory(name)
+	if err != nil {
+		return RunResult{}, err
+	}
+	runs := make([]RunResult, 0, len(pairs))
+	for _, p := range pairs {
+		runs = append(runs, RunInstance(a, p, method))
+	}
+	mean, _ := Average(runs)
+	mean.Algorithm = name
+	mean.Assign = method
+	return mean, nil
+}

@@ -1,0 +1,114 @@
+// Package core is the experiment framework of the study: it composes graph
+// sources (generators or dataset stand-ins), noise models, alignment
+// algorithms, assignment methods and quality metrics into reproducible
+// experiments, and regenerates every table and figure of the paper
+// (see experiments.go for the per-figure specifications).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"graphalign/internal/algo"
+	"graphalign/internal/assign"
+	"graphalign/internal/metrics"
+	"graphalign/internal/noise"
+)
+
+// Factory instantiates an alignment algorithm by its canonical paper name.
+// The root graphalign package provides one wired to the Table 1 registry.
+type Factory func(name string) (algo.Aligner, error)
+
+// RunResult captures one algorithm run on one alignment instance.
+type RunResult struct {
+	Algorithm string
+	Assign    assign.Method
+	Scores    metrics.Scores
+	// SimilarityTime is the time spent computing the similarity matrix;
+	// the paper reports runtime excluding the assignment step.
+	SimilarityTime time.Duration
+	// AssignTime is the time spent extracting the matching.
+	AssignTime time.Duration
+	// AllocBytes is the total heap allocated during the run (a
+	// single-process proxy for the paper's peak-memory measurements).
+	AllocBytes uint64
+	// Err records a failed run; Scores are zero in that case. The paper
+	// likewise reports nothing for runs that exceed its limits.
+	Err error
+}
+
+// RunInstance aligns pair.Source to pair.Target with the given algorithm
+// and assignment method and scores the result against the instance's
+// ground truth.
+func RunInstance(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
+	res := RunResult{Algorithm: a.Name(), Assign: method}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	t0 := time.Now()
+	sim, err := a.Similarity(pair.Source, pair.Target)
+	res.SimilarityTime = time.Since(t0)
+	if err != nil {
+		res.Err = fmt.Errorf("similarity: %w", err)
+		return res
+	}
+
+	t1 := time.Now()
+	mapping, err := assign.Solve(method, sim)
+	if err != nil {
+		res.Err = fmt.Errorf("assignment: %w", err)
+		return res
+	}
+	if method == assign.NearestNeighbor {
+		mapping = assign.EnforceOneToOne(sim, mapping)
+	}
+	res.AssignTime = time.Since(t1)
+
+	runtime.ReadMemStats(&after)
+	res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+
+	res.Scores = metrics.All(pair.Source, pair.Target, mapping, pair.TrueMap)
+	return res
+}
+
+// Average folds a set of run results into mean scores and times, skipping
+// failed runs; ok reports how many runs succeeded.
+func Average(runs []RunResult) (mean RunResult, ok int) {
+	if len(runs) == 0 {
+		return RunResult{}, 0
+	}
+	mean.Algorithm = runs[0].Algorithm
+	mean.Assign = runs[0].Assign
+	var simT, asgT time.Duration
+	var alloc uint64
+	for _, r := range runs {
+		if r.Err != nil {
+			continue
+		}
+		ok++
+		mean.Scores.Accuracy += r.Scores.Accuracy
+		mean.Scores.EC += r.Scores.EC
+		mean.Scores.ICS += r.Scores.ICS
+		mean.Scores.S3 += r.Scores.S3
+		mean.Scores.MNC += r.Scores.MNC
+		simT += r.SimilarityTime
+		asgT += r.AssignTime
+		alloc += r.AllocBytes
+	}
+	if ok == 0 {
+		mean.Err = runs[0].Err
+		return mean, 0
+	}
+	f := float64(ok)
+	mean.Scores.Accuracy /= f
+	mean.Scores.EC /= f
+	mean.Scores.ICS /= f
+	mean.Scores.S3 /= f
+	mean.Scores.MNC /= f
+	mean.SimilarityTime = simT / time.Duration(ok)
+	mean.AssignTime = asgT / time.Duration(ok)
+	mean.AllocBytes = alloc / uint64(ok)
+	return mean, ok
+}

@@ -1,0 +1,322 @@
+// Package gen implements the random graph generators the paper evaluates
+// on (Section 5.1.2): Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+// Newman–Watts, the Holme–Kim powerlaw-cluster model, and the configuration
+// model used in the scalability experiments. All generators are
+// deterministic given a *rand.Rand.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphalign/internal/graph"
+)
+
+// Model names the generators, matching the paper's abbreviations.
+type Model string
+
+// Generator model identifiers.
+const (
+	ER     Model = "ER"
+	BA     Model = "BA"
+	WS     Model = "WS"
+	NW     Model = "NW"
+	PL     Model = "PL"
+	Config Model = "CONFIG"
+)
+
+// edgeSet accumulates unique undirected edges.
+type edgeSet struct {
+	seen  map[graph.Edge]bool
+	edges []graph.Edge
+}
+
+func newEdgeSet() *edgeSet {
+	return &edgeSet{seen: make(map[graph.Edge]bool)}
+}
+
+func (s *edgeSet) add(u, v int) bool {
+	if u == v {
+		return false
+	}
+	e := graph.Edge{U: u, V: v}.Canon()
+	if s.seen[e] {
+		return false
+	}
+	s.seen[e] = true
+	s.edges = append(s.edges, e)
+	return true
+}
+
+func (s *edgeSet) has(u, v int) bool {
+	return s.seen[graph.Edge{U: u, V: v}.Canon()]
+}
+
+func (s *edgeSet) remove(u, v int) bool {
+	e := graph.Edge{U: u, V: v}.Canon()
+	if !s.seen[e] {
+		return false
+	}
+	delete(s.seen, e)
+	for i, x := range s.edges {
+		if x == e {
+			s.edges[i] = s.edges[len(s.edges)-1]
+			s.edges = s.edges[:len(s.edges)-1]
+			break
+		}
+	}
+	return true
+}
+
+// ErdosRenyi samples G(n, p): every pair becomes an edge independently with
+// probability p.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: each new node
+// attaches to m existing nodes chosen proportionally to degree. The paper
+// uses m = 5.
+func BarabasiAlbert(n, m int, rng *rand.Rand) *graph.Graph {
+	if m < 1 || n <= m {
+		panic(fmt.Sprintf("gen: BA requires 1 <= m < n, got n=%d m=%d", n, m))
+	}
+	es := newEdgeSet()
+	// Repeated-nodes list: each endpoint appearance is one "degree token",
+	// so uniform sampling from it is preferential attachment.
+	var targets []int
+	// Seed: star over the first m+1 nodes.
+	for v := 0; v < m; v++ {
+		es.add(v, m)
+		targets = append(targets, v, m)
+	}
+	for u := m + 1; u < n; u++ {
+		added := 0
+		for added < m {
+			w := targets[rng.Intn(len(targets))]
+			if es.add(u, w) {
+				added++
+			}
+		}
+		// Append degree tokens for the m new edges.
+		row := es.edges[len(es.edges)-m:]
+		for _, e := range row {
+			targets = append(targets, e.U, e.V)
+		}
+	}
+	return graph.MustNew(n, es.edges)
+}
+
+// WattsStrogatz builds the small-world model: a ring lattice where every
+// node connects to its k nearest neighbors (k even), then each lattice edge
+// is rewired with probability p to a uniformly random non-duplicate target.
+func WattsStrogatz(n, k int, p float64, rng *rand.Rand) *graph.Graph {
+	if k%2 != 0 || k >= n {
+		panic(fmt.Sprintf("gen: WS requires even k < n, got n=%d k=%d", n, k))
+	}
+	es := newEdgeSet()
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			es.add(u, (u+d)%n)
+		}
+	}
+	// Rewire each original lattice edge (u, u+d) with probability p.
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			v := (u + d) % n
+			if rng.Float64() >= p {
+				continue
+			}
+			if !es.has(u, v) {
+				continue // already rewired away by the other endpoint
+			}
+			// Pick a new target w != u not already adjacent.
+			for tries := 0; tries < 4*n; tries++ {
+				w := rng.Intn(n)
+				if w == u || es.has(u, w) {
+					continue
+				}
+				es.remove(u, v)
+				es.add(u, w)
+				break
+			}
+		}
+	}
+	return graph.MustNew(n, es.edges)
+}
+
+// NewmanWatts builds the Newman–Watts small-world variant: the same ring
+// lattice, but instead of rewiring, each lattice edge spawns an additional
+// random shortcut with probability p (no edges are removed).
+func NewmanWatts(n, k int, p float64, rng *rand.Rand) *graph.Graph {
+	if k%2 != 0 {
+		k-- // the paper's k=7 rounds down to the nearest lattice half-width
+	}
+	if k < 2 || k >= n {
+		panic(fmt.Sprintf("gen: NW requires 2 <= k < n, got n=%d k=%d", n, k))
+	}
+	es := newEdgeSet()
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			es.add(u, (u+d)%n)
+		}
+	}
+	lattice := len(es.edges)
+	for i := 0; i < lattice; i++ {
+		if rng.Float64() >= p {
+			continue
+		}
+		u := es.edges[i].U
+		for tries := 0; tries < 4*n; tries++ {
+			w := rng.Intn(n)
+			if w != u && es.add(u, w) {
+				break
+			}
+		}
+	}
+	return graph.MustNew(n, es.edges)
+}
+
+// PowerlawCluster builds the Holme–Kim model: Barabási–Albert growth where,
+// after each preferential attachment, a triangle-closing step to a random
+// neighbor of the just-linked node fires with probability p.
+func PowerlawCluster(n, m int, p float64, rng *rand.Rand) *graph.Graph {
+	if m < 1 || n <= m {
+		panic(fmt.Sprintf("gen: PL requires 1 <= m < n, got n=%d m=%d", n, m))
+	}
+	es := newEdgeSet()
+	adj := make([][]int, n)
+	link := func(u, v int) bool {
+		if es.add(u, v) {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+			return true
+		}
+		return false
+	}
+	var targets []int
+	for v := 0; v < m; v++ {
+		link(v, m)
+		targets = append(targets, v, m)
+	}
+	for u := m + 1; u < n; u++ {
+		added := 0
+		last := -1
+		var newTokens []int
+		for added < m {
+			var w int
+			if last >= 0 && p > 0 && rng.Float64() < p && len(adj[last]) > 0 {
+				// Triangle formation: connect to a random neighbor of last.
+				w = adj[last][rng.Intn(len(adj[last]))]
+				if w == u || es.has(u, w) {
+					// Fall back to preferential attachment.
+					w = targets[rng.Intn(len(targets))]
+				}
+			} else {
+				w = targets[rng.Intn(len(targets))]
+			}
+			if link(u, w) {
+				added++
+				last = w
+				newTokens = append(newTokens, u, w)
+			}
+		}
+		targets = append(targets, newTokens...)
+	}
+	return graph.MustNew(n, es.edges)
+}
+
+// ConfigurationModel samples a simple graph whose degree sequence
+// approximates degrees: stubs are paired uniformly, and self-loops or
+// duplicate pairings are skipped (so realized degrees can fall slightly
+// short, as in standard erased configuration models).
+func ConfigurationModel(degrees []int, rng *rand.Rand) *graph.Graph {
+	n := len(degrees)
+	var stubs []int
+	for u, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	es := newEdgeSet()
+	for i := 0; i+1 < len(stubs); i += 2 {
+		es.add(stubs[i], stubs[i+1])
+	}
+	return graph.MustNew(n, es.edges)
+}
+
+// NormalDegrees returns a degree sequence of length n drawn from a normal
+// distribution with the given mean and standard deviation, clamped to
+// [1, n-1]. The sum is adjusted to be even so all stubs can pair.
+func NormalDegrees(n int, mean, stddev float64, rng *rand.Rand) []int {
+	deg := make([]int, n)
+	sum := 0
+	for i := range deg {
+		d := int(rng.NormFloat64()*stddev + mean + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		if d > n-1 {
+			d = n - 1
+		}
+		deg[i] = d
+		sum += d
+	}
+	if sum%2 == 1 {
+		deg[0]++
+	}
+	return deg
+}
+
+// Generate dispatches by model name with the paper's default parameters
+// (Section 5.1.2) for a graph of n nodes.
+func Generate(model Model, n int, rng *rand.Rand) (*graph.Graph, error) {
+	switch model {
+	case ER:
+		return ErdosRenyi(n, 0.009, rng), nil
+	case BA:
+		return BarabasiAlbert(n, 5, rng), nil
+	case WS:
+		return WattsStrogatz(n, 10, 0.5, rng), nil
+	case NW:
+		return NewmanWatts(n, 7, 0.5, rng), nil
+	case PL:
+		return PowerlawCluster(n, 5, 0.5, rng), nil
+	case Config:
+		return ConfigurationModel(NormalDegrees(n, 10, 2, rng), rng), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown model %q", model)
+	}
+}
+
+// GenerateScaled is Generate with size-invariant density: the paper fixes
+// its parameters for n = 1133 graphs, and the edge-probability models (ER)
+// must have p rescaled to preserve the expected degree when experiments run
+// at reduced size. The fixed-degree models (BA, WS, NW, PL, Config) keep
+// their parameters, which are already size-invariant.
+func GenerateScaled(model Model, n int, rng *rand.Rand) (*graph.Graph, error) {
+	if model == ER {
+		const paperN, paperP = 1133, 0.009
+		p := paperP * float64(paperN-1) / float64(n-1)
+		if p > 1 {
+			p = 1
+		}
+		return ErdosRenyi(n, p, rng), nil
+	}
+	return Generate(model, n, rng)
+}
+
+// Models lists the five models of the synthetic-graph experiments in the
+// paper's order.
+func Models() []Model {
+	return []Model{ER, BA, WS, NW, PL}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"math"
+
+	"graphalign/internal/matrix"
+)
+
+// Adjacency returns the symmetric 0/1 adjacency matrix of g in CSR form.
+func Adjacency(g *Graph) *matrix.CSR {
+	nnz := 2 * g.M()
+	rIdx := make([]int, 0, nnz)
+	cIdx := make([]int, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			rIdx = append(rIdx, u)
+			cIdx = append(cIdx, v)
+			vals = append(vals, 1)
+		}
+	}
+	m, err := matrix.NewCSR(g.N(), g.N(), rIdx, cIdx, vals)
+	if err != nil {
+		panic(err) // a valid Graph always yields valid coordinates
+	}
+	return m
+}
+
+// RowNormalizedAdjacency returns D^-1 A, the random-walk transition matrix.
+// Rows of isolated nodes are left all-zero.
+func RowNormalizedAdjacency(g *Graph) *matrix.CSR {
+	a := Adjacency(g)
+	inv := make([]float64, g.N())
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d > 0 {
+			inv[u] = 1 / float64(d)
+		}
+	}
+	return a.ScaleRows(inv)
+}
+
+// NormalizedLaplacian returns L = I - D^-1/2 A D^-1/2 in CSR form. Isolated
+// nodes get a diagonal 1 (their Laplacian row is just the identity row).
+func NormalizedLaplacian(g *Graph) *matrix.CSR {
+	n := g.N()
+	invSqrt := make([]float64, n)
+	for u := 0; u < n; u++ {
+		if d := g.Degree(u); d > 0 {
+			invSqrt[u] = 1 / math.Sqrt(float64(d))
+		}
+	}
+	nnz := 2*g.M() + n
+	rIdx := make([]int, 0, nnz)
+	cIdx := make([]int, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for u := 0; u < n; u++ {
+		rIdx = append(rIdx, u)
+		cIdx = append(cIdx, u)
+		vals = append(vals, 1)
+		for _, v := range g.Neighbors(u) {
+			rIdx = append(rIdx, u)
+			cIdx = append(cIdx, v)
+			vals = append(vals, -invSqrt[u]*invSqrt[v])
+		}
+	}
+	m, err := matrix.NewCSR(n, n, rIdx, cIdx, vals)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdjacency(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1}, {1, 2}})
+	a := Adjacency(g)
+	if a.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", a.NNZ())
+	}
+	d := a.ToDense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if g.HasEdge(i, j) {
+				want = 1
+			}
+			if d.At(i, j) != want {
+				t.Errorf("A[%d][%d] = %v, want %v", i, j, d.At(i, j), want)
+			}
+			if d.At(i, j) != d.At(j, i) {
+				t.Errorf("adjacency not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRowNormalizedAdjacency(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	p := RowNormalizedAdjacency(g)
+	d := p.ToDense()
+	// Row 0 has three neighbors with weight 1/3 each.
+	for j := 1; j < 4; j++ {
+		if math.Abs(d.At(0, j)-1.0/3) > 1e-12 {
+			t.Errorf("P[0][%d] = %v, want 1/3", j, d.At(0, j))
+		}
+	}
+	// Row sums are 1 for non-isolated nodes.
+	for i := 0; i < 4; i++ {
+		sum := 0.0
+		for j := 0; j < 4; j++ {
+			sum += d.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// Isolated node rows stay zero.
+	g2 := MustNew(2, nil)
+	p2 := RowNormalizedAdjacency(g2)
+	if p2.NNZ() != 0 {
+		t.Error("isolated graph should have empty transition matrix")
+	}
+}
+
+func TestNormalizedLaplacian(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1}, {1, 2}, {0, 2}})
+	l := NormalizedLaplacian(g).ToDense()
+	// Triangle: L = I - (1/2) A.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			} else {
+				want = -0.5
+			}
+			if math.Abs(l.At(i, j)-want) > 1e-12 {
+				t.Errorf("L[%d][%d] = %v, want %v", i, j, l.At(i, j), want)
+			}
+		}
+	}
+	// The all-sqrt(deg) vector is in the null space: L D^{1/2} 1 = 0.
+	x := make([]float64, 3)
+	for i := range x {
+		x[i] = math.Sqrt(float64(g.Degree(i)))
+	}
+	y := l.MulVec(x)
+	for i, v := range y {
+		if math.Abs(v) > 1e-12 {
+			t.Errorf("null vector residual y[%d] = %v", i, v)
+		}
+	}
+	// Isolated node: diagonal 1.
+	g2 := MustNew(1, nil)
+	l2 := NormalizedLaplacian(g2).ToDense()
+	if l2.At(0, 0) != 1 {
+		t.Error("isolated node should have unit diagonal in the Laplacian")
+	}
+}

@@ -1,0 +1,173 @@
+// Package graph provides the undirected, unattributed graph representation
+// shared by every alignment algorithm and experiment in this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form: a flat neighbor
+// array plus per-node offsets. Node identifiers are dense integers in
+// [0, N). Self-loops and parallel edges are rejected at construction time,
+// matching the paper's setting of simple undirected graphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between two node identifiers.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Graph is an immutable simple undirected graph in CSR form.
+//
+// The zero value is an empty graph with no nodes. Construct graphs with
+// FromEdges or the generators in internal/gen.
+type Graph struct {
+	n       int
+	offsets []int // len n+1
+	neigh   []int // len 2m, sorted within each node's range
+}
+
+// New builds a graph with n nodes from the given edge list. Edges may appear
+// in either orientation; duplicates and self-loops cause an error. Endpoints
+// must lie in [0, n).
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	deg := make([]int, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at node %d", e.U)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g := &Graph{
+		n:       n,
+		offsets: make([]int, n+1),
+		neigh:   make([]int, 2*len(edges)),
+	}
+	for i := 0; i < n; i++ {
+		g.offsets[i+1] = g.offsets[i] + deg[i]
+	}
+	pos := make([]int, n)
+	copy(pos, g.offsets[:n])
+	for _, e := range edges {
+		g.neigh[pos[e.U]] = e.V
+		pos[e.U]++
+		g.neigh[pos[e.V]] = e.U
+		pos[e.V]++
+	}
+	for i := 0; i < n; i++ {
+		row := g.neigh[g.offsets[i]:g.offsets[i+1]]
+		sort.Ints(row)
+		for j := 1; j < len(row); j++ {
+			if row[j] == row[j-1] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", i, row[j])
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustNew is New but panics on error; intended for tests and generators that
+// construct edges known to be valid.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.neigh) / 2 }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return g.offsets[u+1] - g.offsets[u] }
+
+// Neighbors returns the sorted neighbor slice of node u. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int {
+	return g.neigh[g.offsets[u]:g.offsets[u+1]]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	row := g.Neighbors(u)
+	i := sort.SearchInts(row, v)
+	return i < len(row) && row[i] == v
+}
+
+// Edges returns all edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.M())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Degrees returns the degree of every node.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.n)
+	for u := range d {
+		d[u] = g.Degree(u)
+	}
+	return d
+}
+
+// MaxDegree returns the maximum node degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average node degree 2m/n (0 for an empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.neigh)) / float64(g.n)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:       g.n,
+		offsets: append([]int(nil), g.offsets...),
+		neigh:   append([]int(nil), g.neigh...),
+	}
+	return c
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, g.M())
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Graph {
+	t.Helper()
+	return MustNew(3, []Edge{{0, 1}, {1, 2}, {0, 2}})
+}
+
+func TestNewBasics(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}, {2, 1}, {2, 3}})
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3", g.M())
+	}
+	if got := g.Degree(1); got != 2 {
+		t.Errorf("Degree(1) = %d, want 2", got)
+	}
+	if got := g.Neighbors(2); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("Neighbors(2) = %v, want [1 3]", got)
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(0, 1) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("HasEdge(0,3) = true, want false")
+	}
+	if g.HasEdge(0, 0) || g.HasEdge(-1, 2) || g.HasEdge(0, 99) {
+		t.Error("HasEdge must reject self-loops and out-of-range ids")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+	}{
+		{"negative n", -1, nil},
+		{"out of range", 2, []Edge{{0, 2}}},
+		{"negative id", 2, []Edge{{-1, 0}}},
+		{"self loop", 2, []Edge{{1, 1}}},
+		{"duplicate", 3, []Edge{{0, 1}, {1, 0}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.n, c.edges); err == nil {
+			t.Errorf("%s: New succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := MustNew(0, nil)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.N(), g.M())
+	}
+	if g.AvgDegree() != 0 || g.MaxDegree() != 0 {
+		t.Error("empty graph degree stats should be zero")
+	}
+	if len(g.Edges()) != 0 {
+		t.Error("empty graph should have no edges")
+	}
+}
+
+func TestEdgesRoundtrip(t *testing.T) {
+	g := triangle(t)
+	edges := g.Edges()
+	g2 := MustNew(3, edges)
+	if !reflect.DeepEqual(g2.Edges(), edges) {
+		t.Error("rebuilding from Edges() changed the edge set")
+	}
+}
+
+func TestEdgeCanon(t *testing.T) {
+	if (Edge{3, 1}).Canon() != (Edge{1, 3}) {
+		t.Error("Canon should order endpoints")
+	}
+	if (Edge{1, 3}).Canon() != (Edge{1, 3}) {
+		t.Error("Canon must not change ordered edges")
+	}
+}
+
+func TestDegreesAndStats(t *testing.T) {
+	g := MustNew(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if got := g.MaxDegree(); got != 4 {
+		t.Errorf("MaxDegree = %d, want 4", got)
+	}
+	if got := g.AvgDegree(); got != 8.0/5 {
+		t.Errorf("AvgDegree = %v, want 1.6", got)
+	}
+	wantDeg := []int{4, 1, 1, 1, 1}
+	if got := g.Degrees(); !reflect.DeepEqual(got, wantDeg) {
+		t.Errorf("Degrees = %v, want %v", got, wantDeg)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := triangle(t)
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Fatal("clone changed size")
+	}
+	if !reflect.DeepEqual(c.Edges(), g.Edges()) {
+		t.Fatal("clone changed edges")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := triangle(t).String()
+	if got != "Graph(n=3, m=3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// randomGraph builds a reproducible random simple graph for property tests.
+func randomGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, Edge{u, v})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+func TestPropertyNeighborsSortedAndSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(30, 0.15, seed)
+		for u := 0; u < g.N(); u++ {
+			nbrs := g.Neighbors(u)
+			if !sort.IntsAreSorted(nbrs) {
+				return false
+			}
+			for _, v := range nbrs {
+				if !g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDegreeSumIsTwiceEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(40, 0.1, seed)
+		sum := 0
+		for _, d := range g.Degrees() {
+			sum += d
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list. Lines starting with
+// '#' or '%' are comments. Node labels may be arbitrary strings; they are
+// mapped to dense ids in order of first appearance. Duplicate edges (in
+// either orientation) and self-loops are silently dropped, since public
+// datasets frequently contain both. The returned labels slice maps dense ids
+// back to original labels.
+func ReadEdgeList(r io.Reader) (g *Graph, labels []string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	ids := make(map[string]int)
+	intern := func(s string) int {
+		if id, ok := ids[s]; ok {
+			return id
+		}
+		id := len(labels)
+		ids[s] = id
+		labels = append(labels, s)
+		return id
+	}
+	seen := make(map[Edge]bool)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: need at least two fields", line)
+		}
+		u := intern(fields[0])
+		v := intern(fields[1])
+		if u == v {
+			continue
+		}
+		e := Edge{u, v}.Canon()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	g, err = New(len(labels), edges)
+	return g, labels, err
+}
+
+// WriteEdgeList writes g as "u v" lines using dense integer ids.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges() {
+		if _, err := bw.WriteString(strconv.Itoa(e.U) + " " + strconv.Itoa(e.V) + "\n"); err != nil {
+			return fmt.Errorf("graph: writing edge list: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+a b
+b c
+a b
+c c
+b a
+`
+	g, labels, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("n = %d, want 3", g.N())
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2 (duplicates and self-loops dropped)", g.M())
+	}
+	if !reflect.DeepEqual(labels, []string{"a", "b", "c"}) {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, _, err := ReadEdgeList(strings.NewReader("justone\n")); err == nil {
+		t.Error("single-field line accepted")
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, labels, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadEdgeList assigns dense ids in order of first appearance, so map
+	// back through the labels before comparing edge sets.
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("roundtrip changed size: n=%d m=%d", g2.N(), g2.M())
+	}
+	orig := make(map[int]int, len(labels)) // new id -> original id
+	for newID, label := range labels {
+		var id int
+		if _, err := fmt.Sscan(label, &id); err != nil {
+			t.Fatalf("unexpected label %q", label)
+		}
+		orig[newID] = id
+	}
+	var mapped []Edge
+	for _, e := range g2.Edges() {
+		mapped = append(mapped, Edge{orig[e.U], orig[e.V]}.Canon())
+	}
+	sort.Slice(mapped, func(i, j int) bool {
+		if mapped[i].U != mapped[j].U {
+			return mapped[i].U < mapped[j].U
+		}
+		return mapped[i].V < mapped[j].V
+	})
+	if !reflect.DeepEqual(mapped, g.Edges()) {
+		t.Errorf("roundtrip changed edges: %v vs %v", mapped, g.Edges())
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	g, labels, err := ReadEdgeList(strings.NewReader("\n# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || len(labels) != 0 {
+		t.Error("empty input should produce empty graph")
+	}
+}

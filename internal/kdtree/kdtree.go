@@ -1,0 +1,142 @@
+// Package kdtree provides a k-d tree over float64 points for the Euclidean
+// nearest-neighbor queries REGAL and CONE use to extract alignments from
+// embeddings.
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Tree is an immutable k-d tree over points of equal dimension.
+type Tree struct {
+	dim    int
+	points [][]float64 // original points, indexed by id
+	nodes  []node
+	root   int
+}
+
+type node struct {
+	id          int // point id
+	axis        int
+	left, right int // node indices, -1 when absent
+}
+
+// Build constructs a k-d tree over the given points. The points slice is
+// retained (not copied); ids are indices into it. An empty slice yields a
+// tree whose queries return no results.
+func Build(points [][]float64) *Tree {
+	t := &Tree{points: points, root: -1}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0])
+	ids := make([]int, len(points))
+	for i := range ids {
+		ids[i] = i
+	}
+	t.nodes = make([]node, 0, len(points))
+	t.root = t.build(ids, 0)
+	return t
+}
+
+func (t *Tree) build(ids []int, depth int) int {
+	if len(ids) == 0 {
+		return -1
+	}
+	axis := depth % t.dim
+	sort.Slice(ids, func(a, b int) bool {
+		return t.points[ids[a]][axis] < t.points[ids[b]][axis]
+	})
+	mid := len(ids) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{id: ids[mid], axis: axis, left: -1, right: -1})
+	left := t.build(append([]int(nil), ids[:mid]...), depth+1)
+	right := t.build(append([]int(nil), ids[mid+1:]...), depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// result is a max-heap entry for k-NN search.
+type result struct {
+	id   int
+	dist float64 // squared distance
+}
+
+type resultHeap []result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist } // max-heap
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestK returns the ids and squared Euclidean distances of the k points
+// nearest to q, ordered by increasing distance. Fewer than k results are
+// returned when the tree holds fewer points.
+func (t *Tree) NearestK(q []float64, k int) (ids []int, dists []float64) {
+	if t.root == -1 || k <= 0 {
+		return nil, nil
+	}
+	h := make(resultHeap, 0, k+1)
+	t.search(t.root, q, k, &h)
+	// Heap pops worst-first; reverse into best-first order.
+	ids = make([]int, len(h))
+	dists = make([]float64, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		r := heap.Pop(&h).(result)
+		ids[i] = r.id
+		dists[i] = r.dist
+	}
+	return ids, dists
+}
+
+// Nearest returns the single nearest point id and its squared distance.
+func (t *Tree) Nearest(q []float64) (id int, dist float64) {
+	ids, dists := t.NearestK(q, 1)
+	if len(ids) == 0 {
+		return -1, math.Inf(1)
+	}
+	return ids[0], dists[0]
+}
+
+func (t *Tree) search(ni int, q []float64, k int, h *resultHeap) {
+	if ni == -1 {
+		return
+	}
+	nd := t.nodes[ni]
+	p := t.points[nd.id]
+	d := sqDist(p, q)
+	if h.Len() < k {
+		heap.Push(h, result{nd.id, d})
+	} else if d < (*h)[0].dist {
+		heap.Pop(h)
+		heap.Push(h, result{nd.id, d})
+	}
+	diff := q[nd.axis] - p[nd.axis]
+	first, second := nd.left, nd.right
+	if diff > 0 {
+		first, second = nd.right, nd.left
+	}
+	t.search(first, q, k, h)
+	if h.Len() < k || diff*diff < (*h)[0].dist {
+		t.search(second, q, k, h)
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func bruteNearestK(pts [][]float64, q []float64, k int) ([]int, []float64) {
+	type pd struct {
+		id int
+		d  float64
+	}
+	all := make([]pd, len(pts))
+	for i, p := range pts {
+		var s float64
+		for j := range p {
+			d := p[j] - q[j]
+			s += d * d
+		}
+		all[i] = pd{i, s}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	if k > len(all) {
+		k = len(all)
+	}
+	ids := make([]int, k)
+	ds := make([]float64, k)
+	for i := 0; i < k; i++ {
+		ids[i] = all[i].id
+		ds[i] = all[i].d
+	}
+	return ids, ds
+}
+
+func TestNearestKnown(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {5, 5}}
+	tr := Build(pts)
+	id, d := tr.Nearest([]float64{0.9, 0.1})
+	if id != 1 {
+		t.Fatalf("nearest = %d, want 1", id)
+	}
+	if math.Abs(d-(0.01+0.01)) > 1e-12 {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if id, d := tr.Nearest([]float64{1}); id != -1 || !math.IsInf(d, 1) {
+		t.Error("empty tree should return -1/inf")
+	}
+	if ids, _ := tr.NearestK([]float64{1}, 3); ids != nil {
+		t.Error("empty tree NearestK should return nil")
+	}
+}
+
+func TestPropertyNearestKMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := randomPoints(60, 3, seed)
+		tr := Build(pts)
+		rng := rand.New(rand.NewSource(seed + 999))
+		q := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		for _, k := range []int{1, 5, 60, 100} {
+			gotIDs, gotDs := tr.NearestK(q, k)
+			wantIDs, wantDs := bruteNearestK(pts, q, k)
+			if len(gotIDs) != len(wantIDs) {
+				return false
+			}
+			for i := range gotDs {
+				// Compare distances (ids can tie).
+				if math.Abs(gotDs[i]-wantDs[i]) > 1e-12 {
+					return false
+				}
+			}
+			_ = wantIDs
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestKOrdering(t *testing.T) {
+	pts := randomPoints(40, 2, 5)
+	tr := Build(pts)
+	_, ds := tr.NearestK([]float64{0, 0}, 10)
+	if !sort.Float64sAreSorted(ds) {
+		t.Error("NearestK distances must be ascending")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {2, 2}}
+	tr := Build(pts)
+	ids, ds := tr.NearestK([]float64{1, 1}, 2)
+	if len(ids) != 2 || ds[0] != 0 || ds[1] != 0 {
+		t.Errorf("duplicates: ids=%v ds=%v", ids, ds)
+	}
+}

@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"graphalign/internal/matrix"
+)
+
+// SymOp is a symmetric linear operator y = A x given as a function that
+// fills out with A*x. It lets Lanczos run on CSR matrices, shifted
+// Laplacians, etc. without materializing anything dense.
+type SymOp struct {
+	N     int
+	Apply func(out, x []float64)
+}
+
+// CSROp wraps a square CSR matrix as a SymOp (the matrix is assumed to be
+// symmetric; this is not verified).
+func CSROp(m *matrix.CSR) SymOp {
+	if m.NumRows != m.NumCols {
+		panic("linalg: CSROp requires a square matrix")
+	}
+	return SymOp{N: m.NumRows, Apply: m.MulVecTo}
+}
+
+// LanczosSmallest computes the k algebraically smallest eigenpairs of the
+// symmetric operator op, returning eigenvalues ascending and eigenvectors as
+// columns of an N x k dense matrix. It runs Lanczos with full
+// reorthogonalization for min(maxIter, N) steps and diagonalizes the
+// resulting tridiagonal matrix with SymEigen.
+//
+// Used for the normalized Laplacian, whose small eigenvalues carry the
+// global structure GRASP needs.
+func LanczosSmallest(op SymOp, k, maxIter int, rng *rand.Rand) (vals []float64, vecs *matrix.Dense, err error) {
+	return lanczos(op, k, maxIter, rng, false)
+}
+
+// LanczosLargest computes the k algebraically largest eigenpairs of op,
+// returned in descending order of eigenvalue.
+func LanczosLargest(op SymOp, k, maxIter int, rng *rand.Rand) (vals []float64, vecs *matrix.Dense, err error) {
+	return lanczos(op, k, maxIter, rng, true)
+}
+
+func lanczos(op SymOp, k, maxIter int, rng *rand.Rand, largest bool) ([]float64, *matrix.Dense, error) {
+	n := op.N
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("linalg: lanczos k=%d out of range (n=%d)", k, n)
+	}
+	steps := maxIter
+	if steps > n {
+		steps = n
+	}
+	if steps < k {
+		steps = k
+	}
+	// Lanczos basis vectors (full reorthogonalization keeps them usable).
+	q := make([][]float64, 0, steps)
+	alpha := make([]float64, 0, steps)
+	beta := make([]float64, 0, steps) // beta[j] links q[j] and q[j+1]
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	matrix.Normalize(v)
+	w := make([]float64, n)
+
+	for j := 0; j < steps; j++ {
+		qj := append([]float64(nil), v...)
+		q = append(q, qj)
+		op.Apply(w, qj)
+		if j > 0 {
+			matrix.AxpyVec(w, q[j-1], -beta[j-1])
+		}
+		a := matrix.Dot(w, qj)
+		alpha = append(alpha, a)
+		matrix.AxpyVec(w, qj, -a)
+		// Full reorthogonalization against all previous basis vectors.
+		for _, qi := range q {
+			matrix.AxpyVec(w, qi, -matrix.Dot(w, qi))
+		}
+		b := matrix.Norm2(w)
+		if b < 1e-12 {
+			// Invariant subspace found; restart with a random orthogonal vector
+			// or stop if we already span enough.
+			if len(q) >= k {
+				break
+			}
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			for _, qi := range q {
+				matrix.AxpyVec(w, qi, -matrix.Dot(w, qi))
+			}
+			b = matrix.Norm2(w)
+			if b < 1e-12 {
+				break
+			}
+		}
+		if j < steps-1 {
+			beta = append(beta, b)
+			for i := range v {
+				v[i] = w[i] / b
+			}
+		}
+	}
+
+	m := len(q)
+	if m < k {
+		k = m
+	}
+	// Diagonalize the m x m tridiagonal matrix T.
+	t := matrix.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		t.Set(i, i, alpha[i])
+		if i+1 < m && i < len(beta) {
+			t.Set(i, i+1, beta[i])
+			t.Set(i+1, i, beta[i])
+		}
+	}
+	tv, tz, err := SymEigen(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Select k eigenpairs from the requested end of the spectrum.
+	sel := make([]int, k)
+	if largest {
+		for i := 0; i < k; i++ {
+			sel[i] = m - 1 - i
+		}
+	} else {
+		for i := 0; i < k; i++ {
+			sel[i] = i
+		}
+	}
+	vals := make([]float64, k)
+	vecs := matrix.NewDense(n, k)
+	for c, s := range sel {
+		vals[c] = tv[s]
+		// Ritz vector: sum_j tz[j][s] * q[j]
+		col := make([]float64, n)
+		for j := 0; j < m; j++ {
+			matrix.AxpyVec(col, q[j], tz.At(j, s))
+		}
+		matrix.Normalize(col)
+		for i := 0; i < n; i++ {
+			vecs.Set(i, c, col[i])
+		}
+	}
+	return vals, vecs, nil
+}
+
+// PowerIteration returns the dominant eigenvalue (by magnitude) and
+// eigenvector of op, iterating at most maxIter times or until the vector
+// moves by less than tol in the infinity norm.
+func PowerIteration(op SymOp, maxIter int, tol float64, rng *rand.Rand) (val float64, vec []float64) {
+	n := op.N
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() + 0.1
+	}
+	matrix.Normalize(v)
+	w := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		op.Apply(w, v)
+		nrm := matrix.Norm2(w)
+		if nrm == 0 {
+			return 0, v
+		}
+		diff := 0.0
+		for i := range w {
+			nw := w[i] / nrm
+			if d := math.Abs(nw - v[i]); d > diff {
+				diff = d
+			}
+			v[i] = nw
+		}
+		if diff < tol {
+			break
+		}
+	}
+	op.Apply(w, v)
+	return matrix.Dot(v, w), v
+}

@@ -1,0 +1,118 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphalign/internal/matrix"
+)
+
+func TestInverseKnown(t *testing.T) {
+	a := matrix.DenseFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.DenseFromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if d := maxDiff(inv, want); d > 1e-12 {
+		t.Fatalf("inverse wrong by %v", d)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := matrix.DenseFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err == nil {
+		t.Error("singular matrix inverted")
+	}
+	if _, err := Inverse(matrix.NewDense(2, 3)); err == nil {
+		t.Error("non-square matrix inverted")
+	}
+}
+
+func TestPropertyInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomMat(6, 6, seed)
+		inv, err := Inverse(a)
+		if err != nil {
+			return true // random singular matrices are fine to skip
+		}
+		prod := matrix.Mul(a, inv)
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.At(i, j)-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolarOrthogonalIsOrthogonal(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randomMat(5, 5, seed)
+		q := PolarOrthogonal(m)
+		qtq := matrix.Mul(q.T(), q)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(qtq.At(i, j)-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolarRecoversRotation(t *testing.T) {
+	// For M = R D with R orthogonal and D diagonal positive, polar(M) = R.
+	rng := rand.New(rand.NewSource(11))
+	r := PolarOrthogonal(randomMat(4, 4, 12)) // some orthogonal matrix
+	d := matrix.NewDense(4, 4)
+	for i := 0; i < 4; i++ {
+		d.Set(i, i, 1+rng.Float64())
+	}
+	m := matrix.Mul(r, d)
+	got := PolarOrthogonal(m)
+	if diff := maxDiff(got, r); diff > 1e-6 {
+		t.Fatalf("polar factor off by %v", diff)
+	}
+}
+
+func TestPolarMaximizesTrace(t *testing.T) {
+	// polar(M) maximizes <Q, M> over orthogonal Q; any random rotation must
+	// score no higher.
+	m := randomMat(4, 4, 13)
+	q := PolarOrthogonal(m)
+	best := traceProd(q, m)
+	for seed := int64(0); seed < 10; seed++ {
+		r := PolarOrthogonal(randomMat(4, 4, 100+seed))
+		if traceProd(r, m) > best+1e-8 {
+			t.Fatalf("random rotation beats polar factor")
+		}
+	}
+}
+
+func traceProd(q, m *matrix.Dense) float64 {
+	var s float64
+	for i := range q.Data {
+		s += q.Data[i] * m.Data[i]
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphalign/internal/matrix"
+)
+
+func TestTruncatedSVDMatchesFullOnDecayingSpectrum(t *testing.T) {
+	// Build a matrix with a strongly decaying spectrum: A = sum_i s_i u v.
+	rng := rand.New(rand.NewSource(1))
+	m, n := 40, 30
+	a := matrix.NewDense(m, n)
+	for i := 0; i < 5; i++ {
+		u := make([]float64, m)
+		v := make([]float64, n)
+		for j := range u {
+			u[j] = rng.NormFloat64()
+		}
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		matrix.Normalize(u)
+		matrix.Normalize(v)
+		a.AddOuterScaled(u, v, math.Pow(0.3, float64(i))*10)
+	}
+	uT, sT, vT := TruncatedSVD(a, 3, 3, rng)
+	_, sF, _ := SVDAny(a)
+	for i := 0; i < 3; i++ {
+		if math.Abs(sT[i]-sF[i]) > 1e-6*(1+sF[i]) {
+			t.Errorf("singular value %d: truncated %v vs full %v", i, sT[i], sF[i])
+		}
+	}
+	// Rank-3 reconstruction error should match the optimal (s_4 scale).
+	recon := matrix.NewDense(m, n)
+	for c := 0; c < 3; c++ {
+		uc := make([]float64, m)
+		vc := make([]float64, n)
+		for i := 0; i < m; i++ {
+			uc[i] = uT.At(i, c)
+		}
+		for i := 0; i < n; i++ {
+			vc[i] = vT.At(i, c)
+		}
+		recon.AddOuterScaled(uc, vc, sT[c])
+	}
+	var errF float64
+	for i := range a.Data {
+		d := a.Data[i] - recon.Data[i]
+		errF += d * d
+	}
+	errF = math.Sqrt(errF)
+	if errF > sF[3]*2+1e-9 {
+		t.Errorf("rank-3 reconstruction error %v exceeds 2x optimal %v", errF, sF[3])
+	}
+}
+
+func TestTruncatedSVDOrthonormal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMat(20, 15, seed)
+		u, _, v := TruncatedSVD(a, 4, 2, rng)
+		return columnsOrthonormal(u) && columnsOrthonormal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func columnsOrthonormal(m *matrix.Dense) bool {
+	for a := 0; a < m.Cols; a++ {
+		for b := a; b < m.Cols; b++ {
+			var dot float64
+			for i := 0; i < m.Rows; i++ {
+				dot += m.At(i, a) * m.At(i, b)
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTruncatedSVDEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMat(5, 3, 3)
+	// k larger than min dimension clamps.
+	_, s, _ := TruncatedSVD(a, 10, 2, rng)
+	if len(s) != 3 {
+		t.Errorf("k clamp failed: %d values", len(s))
+	}
+	// k = 0 returns empty factors.
+	u, s0, v := TruncatedSVD(a, 0, 2, rng)
+	if len(s0) != 0 || u.Cols != 0 || v.Cols != 0 {
+		t.Error("k=0 should return empty decomposition")
+	}
+}

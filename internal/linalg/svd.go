@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+
+	"graphalign/internal/matrix"
+)
+
+// SVD computes the thin singular value decomposition a = U diag(s) Vᵀ of an
+// m x n matrix with m >= 0, n >= 0, using one-sided Jacobi rotations on the
+// columns. Singular values are returned in descending order; U is m x n and
+// V is n x n (thin form; if m < n the caller should transpose first — the
+// helper SVDAny handles that).
+func SVD(a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense) {
+	m, n := a.Rows, a.Cols
+	u = a.Clone()
+	v = matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	// One-sided Jacobi: repeatedly orthogonalize pairs of columns of u,
+	// accumulating rotations in v.
+	const maxSweeps = 60
+	eps := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					alpha += up * up
+					beta += uq * uq
+					gamma += up * uq
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off += gamma * gamma
+				zeta := (beta - alpha) / (2 * gamma)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, c*up-sn*uq)
+					u.Set(i, q, sn*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-sn*vq)
+					v.Set(i, q, sn*vp+c*vq)
+				}
+			}
+		}
+		if off < eps {
+			break
+		}
+	}
+	// Column norms of u are the singular values.
+	s = make([]float64, n)
+	for j := 0; j < n; j++ {
+		var nrm float64
+		for i := 0; i < m; i++ {
+			nrm += u.At(i, j) * u.At(i, j)
+		}
+		nrm = math.Sqrt(nrm)
+		s[j] = nrm
+		if nrm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)/nrm)
+			}
+		}
+	}
+	// Sort descending by singular value (selection sort on columns).
+	for j := 0; j < n; j++ {
+		best := j
+		for k := j + 1; k < n; k++ {
+			if s[k] > s[best] {
+				best = k
+			}
+		}
+		if best != j {
+			s[j], s[best] = s[best], s[j]
+			for i := 0; i < m; i++ {
+				uj, ub := u.At(i, j), u.At(i, best)
+				u.Set(i, j, ub)
+				u.Set(i, best, uj)
+			}
+			for i := 0; i < n; i++ {
+				vj, vb := v.At(i, j), v.At(i, best)
+				v.Set(i, j, vb)
+				v.Set(i, best, vj)
+			}
+		}
+	}
+	return u, s, v
+}
+
+// SVDAny computes the thin SVD for any shape, transposing internally when
+// m < n so the one-sided Jacobi always works on tall matrices. U is m x r,
+// V is n x r with r = min(m, n).
+func SVDAny(a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense) {
+	if a.Rows >= a.Cols {
+		u, s, v = SVD(a)
+		return u, s, v
+	}
+	vt, s, ut := SVD(a.T())
+	// a = (aᵀ)ᵀ = (vt s utᵀ)ᵀ = ut s vtᵀ
+	return ut, s, vt
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse of a, computed from
+// the SVD; singular values below rcond * s_max are treated as zero.
+func PseudoInverse(a *matrix.Dense, rcond float64) *matrix.Dense {
+	u, s, v := SVDAny(a)
+	r := len(s)
+	smax := 0.0
+	for _, sv := range s {
+		if sv > smax {
+			smax = sv
+		}
+	}
+	cutoff := rcond * smax
+	// pinv = V diag(1/s) Uᵀ
+	scaled := matrix.NewDense(v.Rows, r)
+	for j := 0; j < r; j++ {
+		inv := 0.0
+		if s[j] > cutoff && s[j] > 0 {
+			inv = 1 / s[j]
+		}
+		for i := 0; i < v.Rows; i++ {
+			scaled.Set(i, j, v.At(i, j)*inv)
+		}
+	}
+	return matrix.MulABT(scaled, u) // scaled * uᵀ
+}
+
+// TopKSVDSym returns the top-k singular triplets of a symmetric matrix by
+// way of its eigendecomposition (s_i = |λ_i|, u_i = q_i, v_i = sign(λ_i)
+// q_i). Far cheaper than Jacobi SVD for the dense symmetric proximity
+// matrices CONE factorizes.
+func TopKSVDSym(a *matrix.Dense, k int) (u *matrix.Dense, s []float64, v *matrix.Dense, err error) {
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := len(vals)
+	if k > n {
+		k = n
+	}
+	// Order indices by |eigenvalue| descending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(vals[idx[a]]) > math.Abs(vals[idx[b]])
+	})
+	u = matrix.NewDense(n, k)
+	v = matrix.NewDense(n, k)
+	s = make([]float64, k)
+	for c := 0; c < k; c++ {
+		j := idx[c]
+		s[c] = math.Abs(vals[j])
+		sign := 1.0
+		if vals[j] < 0 {
+			sign = -1
+		}
+		for i := 0; i < n; i++ {
+			q := vecs.At(i, j)
+			u.Set(i, c, q)
+			v.Set(i, c, sign*q)
+		}
+	}
+	return u, s, v, nil
+}
+
+// TopKSVD returns the leading k columns of U, the top-k singular values and
+// the leading k columns of V. k is clamped to min(m, n).
+func TopKSVD(a *matrix.Dense, k int) (u *matrix.Dense, s []float64, v *matrix.Dense) {
+	fu, fs, fv := SVDAny(a)
+	r := len(fs)
+	if k > r {
+		k = r
+	}
+	u = matrix.NewDense(fu.Rows, k)
+	v = matrix.NewDense(fv.Rows, k)
+	s = make([]float64, k)
+	copy(s, fs[:k])
+	for i := 0; i < fu.Rows; i++ {
+		for j := 0; j < k; j++ {
+			u.Set(i, j, fu.At(i, j))
+		}
+	}
+	for i := 0; i < fv.Rows; i++ {
+		for j := 0; j < k; j++ {
+			v.Set(i, j, fv.At(i, j))
+		}
+	}
+	return u, s, v
+}

@@ -1,0 +1,167 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphalign/internal/matrix"
+)
+
+func randomMat(rows, cols int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// reconstruct returns U diag(s) Vᵀ.
+func reconstruct(u *matrix.Dense, s []float64, v *matrix.Dense) *matrix.Dense {
+	us := u.Clone()
+	for j := range s {
+		for i := 0; i < u.Rows; i++ {
+			us.Set(i, j, u.At(i, j)*s[j])
+		}
+	}
+	return matrix.MulABT(us, v)
+}
+
+func maxDiff(a, b *matrix.Dense) float64 {
+	worst := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestSVDReconstructionTall(t *testing.T) {
+	a := randomMat(8, 5, 1)
+	u, s, v := SVD(a)
+	if d := maxDiff(reconstruct(u, s, v), a); d > 1e-8 {
+		t.Fatalf("reconstruction error %v", d)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1] {
+			t.Fatal("singular values not descending")
+		}
+		if s[i] < 0 {
+			t.Fatal("negative singular value")
+		}
+	}
+}
+
+func TestSVDAnyWide(t *testing.T) {
+	a := randomMat(4, 9, 2)
+	u, s, v := SVDAny(a)
+	if u.Rows != 4 || v.Rows != 9 || len(s) != 4 {
+		t.Fatalf("thin shapes wrong: u %dx%d v %dx%d r=%d", u.Rows, u.Cols, v.Rows, v.Cols, len(s))
+	}
+	if d := maxDiff(reconstruct(u, s, v), a); d > 1e-8 {
+		t.Fatalf("reconstruction error %v", d)
+	}
+}
+
+func TestPropertySVDSingularValuesMatchGram(t *testing.T) {
+	// Squares of singular values are the eigenvalues of AᵀA.
+	f := func(seed int64) bool {
+		a := randomMat(7, 5, seed)
+		_, s, _ := SVD(a)
+		gram := matrix.Mul(a.T(), a)
+		vals, _, err := SymEigen(gram)
+		if err != nil {
+			return false
+		}
+		// vals ascending; s descending.
+		for i := 0; i < 5; i++ {
+			if math.Abs(s[i]*s[i]-vals[4-i]) > 1e-7*(1+vals[4-i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPseudoInverseProperties(t *testing.T) {
+	a := randomMat(6, 4, 3)
+	pinv := PseudoInverse(a, 1e-12)
+	if pinv.Rows != 4 || pinv.Cols != 6 {
+		t.Fatalf("pinv shape %dx%d", pinv.Rows, pinv.Cols)
+	}
+	// A A+ A = A.
+	apa := matrix.Mul(matrix.Mul(a, pinv), a)
+	if d := maxDiff(apa, a); d > 1e-8 {
+		t.Fatalf("A A+ A != A (diff %v)", d)
+	}
+	// A+ A A+ = A+.
+	pap := matrix.Mul(matrix.Mul(pinv, a), pinv)
+	if d := maxDiff(pap, pinv); d > 1e-8 {
+		t.Fatalf("A+ A A+ != A+ (diff %v)", d)
+	}
+}
+
+func TestPseudoInverseRankDeficient(t *testing.T) {
+	// Rank-1 matrix.
+	a := matrix.Outer([]float64{1, 2, 3}, []float64{4, 5})
+	pinv := PseudoInverse(a, 1e-10)
+	apa := matrix.Mul(matrix.Mul(a, pinv), a)
+	if d := maxDiff(apa, a); d > 1e-8 {
+		t.Fatalf("rank-deficient A A+ A != A (diff %v)", d)
+	}
+}
+
+func TestTopKSVD(t *testing.T) {
+	a := randomMat(6, 6, 4)
+	u, s, v := TopKSVD(a, 3)
+	if u.Cols != 3 || v.Cols != 3 || len(s) != 3 {
+		t.Fatal("TopKSVD shapes wrong")
+	}
+	fu, fs, fv := SVDAny(a)
+	for j := 0; j < 3; j++ {
+		if math.Abs(s[j]-fs[j]) > 1e-10 {
+			t.Fatal("TopKSVD values differ from full SVD")
+		}
+		for i := 0; i < 6; i++ {
+			if u.At(i, j) != fu.At(i, j) || v.At(i, j) != fv.At(i, j) {
+				t.Fatal("TopKSVD vectors differ from full SVD")
+			}
+		}
+	}
+	// k larger than rank clamps.
+	_, s2, _ := TopKSVD(a, 100)
+	if len(s2) != 6 {
+		t.Fatal("TopKSVD should clamp k")
+	}
+}
+
+func TestTopKSVDSymMatchesJacobi(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomSymmetric(8, seed)
+		u, s, v, err := TopKSVDSym(a, 8)
+		if err != nil {
+			return false
+		}
+		// Reconstruction must equal a.
+		if maxDiff(reconstruct(u, s, v), a) > 1e-7 {
+			return false
+		}
+		// Values must match Jacobi SVD.
+		_, js, _ := SVDAny(a)
+		for i := range s {
+			if math.Abs(s[i]-js[i]) > 1e-7*(1+js[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

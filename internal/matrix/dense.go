@@ -1,0 +1,296 @@
+// Package matrix provides the dense and sparse (CSR) float64 matrices used
+// by the alignment algorithms. It is deliberately small: just the operations
+// the algorithms need, implemented with contiguous row-major storage.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewDense allocates a zeroed Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// DenseFromRows builds a Dense from a slice of equal-length rows.
+func DenseFromRows(rows [][]float64) *Dense {
+	r := len(rows)
+	if r == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view of row i (aliases internal storage).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Dense) Scale(s float64) *Dense {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddScaled adds s*other to m element-wise in place and returns m.
+func (m *Dense) AddScaled(other *Dense, s float64) *Dense {
+	m.mustSameShape(other)
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+	return m
+}
+
+// Hadamard multiplies m element-wise by other in place and returns m.
+func (m *Dense) Hadamard(other *Dense) *Dense {
+	m.mustSameShape(other)
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+	return m
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Mul returns a*b.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulABT returns a * bᵀ, i.e. out[i][j] = <a.Row(i), b.Row(j)>.
+func MulABT(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: mulABT shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MulVec returns m*x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("matrix: mulvec shape mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// FrobNorm returns the Frobenius norm.
+func (m *Dense) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Dense) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// RowSums returns the vector of row sums.
+func (m *Dense) RowSums() []float64 {
+	out := make([]float64, m.Rows)
+	for i := range out {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColSums returns the vector of column sums.
+func (m *Dense) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product u vᵀ.
+func Outer(u, v []float64) *Dense {
+	out := NewDense(len(u), len(v))
+	for i, uv := range u {
+		if uv == 0 {
+			continue
+		}
+		row := out.Row(i)
+		for j, vv := range v {
+			row[j] = uv * vv
+		}
+	}
+	return out
+}
+
+// AddOuterScaled adds s * u vᵀ to m in place.
+func (m *Dense) AddOuterScaled(u, v []float64, s float64) {
+	if len(u) != m.Rows || len(v) != m.Cols {
+		panic("matrix: addOuter shape mismatch")
+	}
+	for i, uv := range u {
+		c := s * uv
+		if c == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, vv := range v {
+			row[j] += c * vv
+		}
+	}
+}
+
+func (m *Dense) mustSameShape(o *Dense) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("matrix: dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Normalize scales v to unit Euclidean norm in place and returns its
+// original norm. A zero vector is left unchanged.
+func Normalize(v []float64) float64 {
+	n := Norm2(v)
+	if n == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return n
+}
+
+// AxpyVec computes y += s*x in place.
+func AxpyVec(y []float64, x []float64, s float64) {
+	if len(x) != len(y) {
+		panic("matrix: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += s * v
+	}
+}

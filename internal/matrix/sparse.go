@@ -1,0 +1,219 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed sparse row matrix of float64.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int     // len NumRows+1
+	ColIdx           []int     // len nnz, sorted within each row
+	Val              []float64 // len nnz
+}
+
+// coo is an intermediate triple used during construction.
+type coo struct {
+	r, c int
+	v    float64
+}
+
+// NewCSR builds a CSR matrix from coordinate triples. Duplicate (r, c)
+// entries are summed.
+func NewCSR(rows, cols int, rIdx, cIdx []int, vals []float64) (*CSR, error) {
+	if len(rIdx) != len(cIdx) || len(rIdx) != len(vals) {
+		return nil, fmt.Errorf("matrix: coordinate slices of unequal length")
+	}
+	entries := make([]coo, len(rIdx))
+	for i := range rIdx {
+		if rIdx[i] < 0 || rIdx[i] >= rows || cIdx[i] < 0 || cIdx[i] >= cols {
+			return nil, fmt.Errorf("matrix: entry (%d,%d) out of %dx%d", rIdx[i], cIdx[i], rows, cols)
+		}
+		entries[i] = coo{rIdx[i], cIdx[i], vals[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].r != entries[j].r {
+			return entries[i].r < entries[j].r
+		}
+		return entries[i].c < entries[j].c
+	})
+	m := &CSR{NumRows: rows, NumCols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < len(entries); {
+		j := i
+		v := 0.0
+		for j < len(entries) && entries[j].r == entries[i].r && entries[j].c == entries[i].c {
+			v += entries[j].v
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, entries[i].c)
+		m.Val = append(m.Val, v)
+		m.RowPtr[entries[i].r+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// RowRange returns the column indices and values of row r as views.
+func (m *CSR) RowRange(r int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// MulVec returns m*x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.NumCols {
+		panic("matrix: csr mulvec shape mismatch")
+	}
+	out := make([]float64, m.NumRows)
+	m.MulVecTo(out, x)
+	return out
+}
+
+// MulVecTo computes out = m*x, reusing out (which must have length NumRows).
+func (m *CSR) MulVecTo(out, x []float64) {
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		out[r] = s
+	}
+}
+
+// MulVecT returns mᵀ*x without materializing the transpose.
+func (m *CSR) MulVecT(x []float64) []float64 {
+	if len(x) != m.NumRows {
+		panic("matrix: csr mulvecT shape mismatch")
+	}
+	out := make([]float64, m.NumCols)
+	for r := 0; r < m.NumRows; r++ {
+		xv := x[r]
+		if xv == 0 {
+			continue
+		}
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			out[m.ColIdx[k]] += m.Val[k] * xv
+		}
+	}
+	return out
+}
+
+// MulDense returns m * d as a new dense matrix (m is NumRows x NumCols,
+// d is NumCols x d.Cols).
+func (m *CSR) MulDense(d *Dense) *Dense {
+	if m.NumCols != d.Rows {
+		panic(fmt.Sprintf("matrix: csr muldense shape mismatch %dx%d * %dx%d", m.NumRows, m.NumCols, d.Rows, d.Cols))
+	}
+	out := NewDense(m.NumRows, d.Cols)
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		orow := out.Row(r)
+		for k := lo; k < hi; k++ {
+			v := m.Val[k]
+			drow := d.Row(m.ColIdx[k])
+			for j, dv := range drow {
+				orow[j] += v * dv
+			}
+		}
+	}
+	return out
+}
+
+// MulDenseT returns mᵀ * d (result NumCols x d.Cols) without materializing
+// the transpose.
+func (m *CSR) MulDenseT(d *Dense) *Dense {
+	if m.NumRows != d.Rows {
+		panic("matrix: csr muldenseT shape mismatch")
+	}
+	out := NewDense(m.NumCols, d.Cols)
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		drow := d.Row(r)
+		for k := lo; k < hi; k++ {
+			v := m.Val[k]
+			orow := out.Row(m.ColIdx[k])
+			for j, dv := range drow {
+				orow[j] += v * dv
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose as a new CSR matrix.
+func (m *CSR) T() *CSR {
+	rIdx := make([]int, 0, m.NNZ())
+	cIdx := make([]int, 0, m.NNZ())
+	vals := make([]float64, 0, m.NNZ())
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			rIdx = append(rIdx, m.ColIdx[k])
+			cIdx = append(cIdx, r)
+			vals = append(vals, m.Val[k])
+		}
+	}
+	t, err := NewCSR(m.NumCols, m.NumRows, rIdx, cIdx, vals)
+	if err != nil {
+		panic(err) // construction from a valid CSR cannot fail
+	}
+	return t
+}
+
+// ToDense materializes the matrix densely.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.NumRows, m.NumCols)
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		row := d.Row(r)
+		for k := lo; k < hi; k++ {
+			row[m.ColIdx[k]] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// ScaleRows multiplies row r by s[r] in place and returns m.
+func (m *CSR) ScaleRows(s []float64) *CSR {
+	if len(s) != m.NumRows {
+		panic("matrix: scalerows length mismatch")
+	}
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			m.Val[k] *= s[r]
+		}
+	}
+	return m
+}
+
+// ScaleCols multiplies column c by s[c] in place and returns m.
+func (m *CSR) ScaleCols(s []float64) *CSR {
+	if len(s) != m.NumCols {
+		panic("matrix: scalecols length mismatch")
+	}
+	for k, c := range m.ColIdx {
+		m.Val[k] *= s[c]
+	}
+	return m
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  append([]int(nil), m.RowPtr...),
+		ColIdx:  append([]int(nil), m.ColIdx...),
+		Val:     append([]float64(nil), m.Val...),
+	}
+}

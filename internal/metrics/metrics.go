@@ -1,0 +1,147 @@
+// Package metrics implements the five alignment-quality measures of the
+// paper (Section 5.2): node correctness (accuracy), edge correctness (EC),
+// induced conserved structure (ICS), the symmetric substructure score (S³),
+// and matched neighborhood consistency (MNC).
+//
+// All functions take the alignment as mapping[u] = target node assigned to
+// source node u (a value < 0 marks an unmatched node and counts as wrong).
+package metrics
+
+import (
+	"graphalign/internal/graph"
+)
+
+// Accuracy (node correctness) is the fraction of source nodes mapped to
+// their true counterpart.
+func Accuracy(mapping, trueMap []int) float64 {
+	if len(mapping) == 0 {
+		return 0
+	}
+	correct := 0
+	for u, v := range mapping {
+		if u < len(trueMap) && v == trueMap[u] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(mapping))
+}
+
+// alignedEdges returns |f(E_A) ∩ E_B|: source edges whose mapped endpoints
+// are also adjacent in the target.
+func alignedEdges(src, dst *graph.Graph, mapping []int) int {
+	count := 0
+	for _, e := range src.Edges() {
+		fu, fv := mapping[e.U], mapping[e.V]
+		if fu >= 0 && fv >= 0 && dst.HasEdge(fu, fv) {
+			count++
+		}
+	}
+	return count
+}
+
+// inducedEdges returns |E(G_B[f(V_A)])|: the number of target edges between
+// images of source nodes.
+func inducedEdges(src, dst *graph.Graph, mapping []int) int {
+	image := make(map[int]bool, len(mapping))
+	for _, v := range mapping {
+		if v >= 0 {
+			image[v] = true
+		}
+	}
+	count := 0
+	for _, e := range dst.Edges() {
+		if image[e.U] && image[e.V] {
+			count++
+		}
+	}
+	return count
+}
+
+// EC is edge correctness: the fraction of source edges preserved by the
+// alignment.
+func EC(src, dst *graph.Graph, mapping []int) float64 {
+	if src.M() == 0 {
+		return 0
+	}
+	return float64(alignedEdges(src, dst, mapping)) / float64(src.M())
+}
+
+// ICS is the induced conserved structure score: aligned edges normalized by
+// the edges of the target subgraph induced by the image of the alignment.
+func ICS(src, dst *graph.Graph, mapping []int) float64 {
+	ind := inducedEdges(src, dst, mapping)
+	if ind == 0 {
+		return 0
+	}
+	return float64(alignedEdges(src, dst, mapping)) / float64(ind)
+}
+
+// S3 is the symmetric substructure score, penalizing both directions of
+// density mismatch (Equation 16).
+func S3(src, dst *graph.Graph, mapping []int) float64 {
+	f := alignedEdges(src, dst, mapping)
+	denom := src.M() + inducedEdges(src, dst, mapping) - f
+	if denom <= 0 {
+		return 0
+	}
+	return float64(f) / float64(denom)
+}
+
+// MNC is the average matched neighborhood consistency (Equation 15): for
+// each source node i, the Jaccard similarity between the image of its
+// neighborhood under the alignment and the target neighborhood of its match.
+func MNC(src, dst *graph.Graph, mapping []int) float64 {
+	n := src.N()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		j := mapping[i]
+		if j < 0 {
+			continue
+		}
+		mapped := make(map[int]bool, src.Degree(i))
+		for _, k := range src.Neighbors(i) {
+			if fk := mapping[k]; fk >= 0 {
+				mapped[fk] = true
+			}
+		}
+		inter, union := 0, len(mapped)
+		for _, t := range dst.Neighbors(j) {
+			if mapped[t] {
+				inter++
+			} else {
+				union++
+			}
+		}
+		if union > 0 {
+			total += float64(inter) / float64(union)
+		}
+	}
+	return total / float64(n)
+}
+
+// All computes every metric at once; trueMap may be nil when no ground truth
+// exists (Accuracy is then 0).
+func All(src, dst *graph.Graph, mapping, trueMap []int) Scores {
+	s := Scores{
+		EC:  EC(src, dst, mapping),
+		ICS: ICS(src, dst, mapping),
+		S3:  S3(src, dst, mapping),
+		MNC: MNC(src, dst, mapping),
+	}
+	if trueMap != nil {
+		s.Accuracy = Accuracy(mapping, trueMap)
+	}
+	return s
+}
+
+// Scores bundles the five quality measures.
+type Scores struct {
+	Accuracy float64
+	EC       float64
+	ICS      float64
+	S3       float64
+	MNC      float64
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphalign/internal/gen"
+	"graphalign/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+	}
+	return graph.MustNew(n, edges)
+}
+
+func identity(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func TestAccuracy(t *testing.T) {
+	trueMap := []int{2, 0, 1}
+	if got := Accuracy([]int{2, 0, 1}, trueMap); got != 1 {
+		t.Errorf("perfect accuracy = %v", got)
+	}
+	if got := Accuracy([]int{2, 1, 0}, trueMap); got != 1.0/3 {
+		t.Errorf("partial accuracy = %v", got)
+	}
+	if got := Accuracy(nil, trueMap); got != 0 {
+		t.Errorf("empty mapping accuracy = %v", got)
+	}
+	if got := Accuracy([]int{-1, -1, -1}, trueMap); got != 0 {
+		t.Errorf("unmatched accuracy = %v", got)
+	}
+}
+
+func TestPerfectAlignmentScoresOne(t *testing.T) {
+	g := pathGraph(6)
+	id := identity(6)
+	if EC(g, g, id) != 1 {
+		t.Error("EC of identity should be 1")
+	}
+	if ICS(g, g, id) != 1 {
+		t.Error("ICS of identity should be 1")
+	}
+	if S3(g, g, id) != 1 {
+		t.Error("S3 of identity should be 1")
+	}
+	if MNC(g, g, id) != 1 {
+		t.Error("MNC of identity should be 1")
+	}
+}
+
+func TestECHandComputed(t *testing.T) {
+	// Source: triangle. Target: path 0-1-2. Identity mapping preserves
+	// edges (0,1) and (1,2) but not (0,2): EC = 2/3.
+	src := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	dst := pathGraph(3)
+	id := identity(3)
+	if got := EC(src, dst, id); got != 2.0/3 {
+		t.Errorf("EC = %v, want 2/3", got)
+	}
+	// ICS: induced edges in dst over image {0,1,2} = 2; aligned = 2 -> 1.
+	if got := ICS(src, dst, id); got != 1 {
+		t.Errorf("ICS = %v, want 1", got)
+	}
+	// S3 = 2 / (3 + 2 - 2) = 2/3.
+	if got := S3(src, dst, id); got != 2.0/3 {
+		t.Errorf("S3 = %v, want 2/3", got)
+	}
+}
+
+func TestICSPenalizesDenseTarget(t *testing.T) {
+	// Source: path 0-1-2 (2 edges). Target: triangle. Identity alignment
+	// conserves both source edges but the induced target has 3 edges:
+	// EC = 1, ICS = 2/3, S3 = 2/3.
+	src := pathGraph(3)
+	dst := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	id := identity(3)
+	if got := EC(src, dst, id); got != 1 {
+		t.Errorf("EC = %v, want 1", got)
+	}
+	if got := ICS(src, dst, id); got != 2.0/3 {
+		t.Errorf("ICS = %v, want 2/3", got)
+	}
+	if got := S3(src, dst, id); got != 2.0/3 {
+		t.Errorf("S3 = %v, want 2/3", got)
+	}
+}
+
+func TestMNCHandComputed(t *testing.T) {
+	// Star source mapped onto a path: centre keeps 2 of 3 neighbors...
+	src := graph.MustNew(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	dst := pathGraph(4) // 0-1-2-3
+	id := identity(4)
+	// Node 0: mapped neighborhood {1,2,3}; dst neighborhood of 0 = {1}.
+	// intersection 1, union 3 -> 1/3.
+	// Node 1: mapped nbhd {0}; dst nbhd {0,2} -> 1/2.
+	// Node 2: mapped nbhd {0}; dst nbhd {1,3} -> 0.
+	// Node 3: mapped nbhd {0}; dst nbhd {2} -> 0.
+	want := (1.0/3 + 0.5) / 4
+	if got := MNC(src, dst, id); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MNC = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	empty := graph.MustNew(0, nil)
+	if MNC(empty, empty, nil) != 0 {
+		t.Error("empty MNC should be 0")
+	}
+	noEdges := graph.MustNew(3, nil)
+	if EC(noEdges, noEdges, identity(3)) != 0 {
+		t.Error("EC with no source edges should be 0")
+	}
+	if ICS(noEdges, noEdges, identity(3)) != 0 {
+		t.Error("ICS with no induced edges should be 0")
+	}
+	if S3(noEdges, noEdges, identity(3)) != 0 {
+		t.Error("S3 degenerate should be 0")
+	}
+}
+
+func TestAllBundle(t *testing.T) {
+	g := pathGraph(5)
+	s := All(g, g, identity(5), identity(5))
+	if s.Accuracy != 1 || s.EC != 1 || s.ICS != 1 || s.S3 != 1 || s.MNC != 1 {
+		t.Errorf("All = %+v, want all ones", s)
+	}
+	s2 := All(g, g, identity(5), nil)
+	if s2.Accuracy != 0 {
+		t.Error("accuracy must be 0 when no ground truth")
+	}
+}
+
+func TestPropertyMetricsInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := gen.ErdosRenyi(25, 0.2, rng)
+		dst := gen.ErdosRenyi(25, 0.2, rng)
+		mapping := rng.Perm(25)
+		s := All(src, dst, mapping, rng.Perm(25))
+		for _, v := range []float64{s.Accuracy, s.EC, s.ICS, s.S3, s.MNC} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyS3LowerThanECAndICS(t *testing.T) {
+	// S3's denominator dominates both EC's and ICS's.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := gen.ErdosRenyi(20, 0.25, rng)
+		dst := gen.ErdosRenyi(20, 0.25, rng)
+		mapping := rng.Perm(20)
+		s3 := S3(src, dst, mapping)
+		return s3 <= EC(src, dst, mapping)+1e-12 && s3 <= ICS(src, dst, mapping)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

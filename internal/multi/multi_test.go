@@ -1,0 +1,136 @@
+package multi
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphalign/internal/algo/isorank"
+	"graphalign/internal/assign"
+	"graphalign/internal/gen"
+	"graphalign/internal/graph"
+	"graphalign/internal/metrics"
+	"graphalign/internal/noise"
+)
+
+// variants builds k noisy permuted copies of one base graph, returning the
+// graphs (base first) and each copy's true map back to the base.
+func variants(t *testing.T, k int, level float64) (graphs []*graph.Graph, trueMaps [][]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	base := gen.PowerlawCluster(60, 3, 0.3, rng)
+	graphs = append(graphs, base)
+	trueMaps = append(trueMaps, graph.IdentityPermutation(base.N()))
+	for i := 1; i < k; i++ {
+		p, err := noise.Apply(base, noise.OneWay, level, noise.Options{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// p.Target is the permuted copy; inverse permutation maps copy
+		// nodes back to base nodes.
+		graphs = append(graphs, p.Target)
+		trueMaps = append(trueMaps, graph.InversePermutation(p.TrueMap))
+	}
+	return graphs, trueMaps
+}
+
+func TestAlignAllStar(t *testing.T) {
+	graphs, trueMaps := variants(t, 3, 0)
+	al, err := AlignAll(isorank.New(), graphs, Options{Assign: assign.JonkerVolgenant, Reference: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Reference != 0 {
+		t.Fatalf("reference = %d", al.Reference)
+	}
+	// Every non-reference graph should map back to the base correctly.
+	for gi := 1; gi < 3; gi++ {
+		// ToReference composed with copy->base ground truth: node u of copy
+		// gi truly corresponds to base node trueMaps[gi][u].
+		acc := metrics.Accuracy(al.ToReference[gi], invCompose(trueMaps[gi]))
+		if acc < 0.9 {
+			t.Errorf("graph %d -> reference accuracy %.3f", gi, acc)
+		}
+	}
+}
+
+// invCompose adapts a copy->base ground-truth map into the same shape
+// Accuracy expects (it already is: mapping[u] = base node).
+func invCompose(m []int) []int { return m }
+
+func TestClusters(t *testing.T) {
+	graphs, _ := variants(t, 3, 0)
+	al, err := AlignAll(isorank.New(), graphs, Options{Assign: assign.JonkerVolgenant, Reference: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	for _, c := range al.Clusters {
+		seen := map[int]bool{}
+		hasRef := false
+		for _, node := range c {
+			if seen[node.Graph] {
+				t.Fatal("cluster contains two nodes of the same graph")
+			}
+			seen[node.Graph] = true
+			if node.Graph == al.Reference {
+				hasRef = true
+			}
+		}
+		if !hasRef {
+			t.Fatal("cluster missing its reference node")
+		}
+	}
+}
+
+func TestPairwiseMapConsistency(t *testing.T) {
+	graphs, trueMaps := variants(t, 3, 0)
+	al, err := AlignAll(isorank.New(), graphs, Options{Assign: assign.JonkerVolgenant, Reference: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m12, err := al.PairwiseMap(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True correspondence copy1 -> copy2: through the base.
+	base2copy2 := graph.InversePermutation(trueMaps[2])
+	want := make([]int, len(m12))
+	for u := range want {
+		want[u] = base2copy2[trueMaps[1][u]]
+	}
+	if acc := metrics.Accuracy(m12, want); acc < 0.9 {
+		t.Errorf("pairwise copy1->copy2 accuracy %.3f", acc)
+	}
+	if _, err := al.PairwiseMap(0, 99); err == nil {
+		t.Error("out-of-range graph index accepted")
+	}
+}
+
+func TestAutoReferencePicksLargest(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	small := gen.ErdosRenyi(20, 0.3, rng)
+	big := gen.ErdosRenyi(40, 0.2, rng)
+	al, err := AlignAll(isorank.New(), []*graph.Graph{small, big}, Options{Reference: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Reference != 1 {
+		t.Errorf("auto reference = %d, want 1 (largest)", al.Reference)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.ErdosRenyi(20, 0.3, rng)
+	if _, err := AlignAll(isorank.New(), []*graph.Graph{g}, Options{}); err == nil {
+		t.Error("single graph accepted")
+	}
+	big := gen.ErdosRenyi(30, 0.3, rng)
+	// Forcing the small graph as reference must fail (source larger than
+	// target in the pairwise step).
+	if _, err := AlignAll(isorank.New(), []*graph.Graph{g, big}, Options{Reference: 0}); err == nil {
+		t.Error("undersized reference accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Package noise implements the paper's three edge-perturbation strategies
+// (Section 5.1.1) plus the node permutation that hides ground truth:
+//
+//   - One-Way: remove a fraction of edges from the target graph only.
+//   - Multi-Modal: remove a fraction of edges from the target and add the
+//     same number of previously absent edges.
+//   - Two-Way: remove a fraction of edges independently from both graphs.
+//
+// All functions are deterministic given a *rand.Rand.
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphalign/internal/graph"
+)
+
+// Type identifies a noise strategy.
+type Type string
+
+// The three noise strategies of the paper.
+const (
+	OneWay     Type = "one-way"
+	MultiModal Type = "multi-modal"
+	TwoWay     Type = "two-way"
+)
+
+// Types lists the noise strategies in the paper's order.
+func Types() []Type { return []Type{OneWay, MultiModal, TwoWay} }
+
+// Pair is an alignment problem instance: align Source to Target, where the
+// correct answer is TrueMap (TrueMap[u] is the target node corresponding to
+// source node u).
+type Pair struct {
+	Source  *graph.Graph
+	Target  *graph.Graph
+	TrueMap []int
+	Noise   Type
+	Level   float64
+}
+
+// Options control noise generation.
+type Options struct {
+	// KeepConnected retries edge removals that would disconnect the graph
+	// (as the paper does for the assignment-method experiment, Section 6.2).
+	KeepConnected bool
+}
+
+// Apply builds an alignment instance from a clean graph g: the target is a
+// node-permuted copy of g perturbed with the requested noise at the given
+// level (fraction of edges), and the source is g itself (also perturbed for
+// Two-Way noise). TrueMap is the hidden permutation.
+func Apply(g *graph.Graph, t Type, level float64, opts Options, rng *rand.Rand) (Pair, error) {
+	if level < 0 || level >= 1 {
+		return Pair{}, fmt.Errorf("noise: level %v out of [0,1)", level)
+	}
+	n := g.N()
+	perm := graph.RandomPermutation(n, rng)
+	permuted, err := graph.Permute(g, perm)
+	if err != nil {
+		return Pair{}, err
+	}
+	source := g
+	target := permuted
+	switch t {
+	case OneWay:
+		target, err = RemoveEdges(target, level, opts, rng)
+	case MultiModal:
+		target, err = RemoveAndAddEdges(target, level, opts, rng)
+	case TwoWay:
+		source, err = RemoveEdges(source, level, opts, rng)
+		if err == nil {
+			target, err = RemoveEdges(target, level, opts, rng)
+		}
+	default:
+		err = fmt.Errorf("noise: unknown type %q", t)
+	}
+	if err != nil {
+		return Pair{}, err
+	}
+	return Pair{Source: source, Target: target, TrueMap: perm, Noise: t, Level: level}, nil
+}
+
+// RemoveEdges removes ceil(level*m) uniformly random edges. With
+// opts.KeepConnected, removals that disconnect the graph are skipped (so
+// fewer edges may be removed on sparse graphs).
+func RemoveEdges(g *graph.Graph, level float64, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	m := g.M()
+	toRemove := int(level*float64(m) + 0.5)
+	if toRemove == 0 {
+		return g.Clone(), nil
+	}
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	removed := make(map[graph.Edge]bool, toRemove)
+	if !opts.KeepConnected {
+		for _, e := range edges[:toRemove] {
+			removed[e.Canon()] = true
+		}
+	} else {
+		for _, e := range edges {
+			if len(removed) == toRemove {
+				break
+			}
+			removed[e.Canon()] = true
+			if !connectedWithout(g, removed) {
+				delete(removed, e.Canon())
+			}
+		}
+	}
+	kept := make([]graph.Edge, 0, m-len(removed))
+	for _, e := range g.Edges() {
+		if !removed[e.Canon()] {
+			kept = append(kept, e)
+		}
+	}
+	return graph.New(g.N(), kept)
+}
+
+// RemoveAndAddEdges removes ceil(level*m) random edges and adds the same
+// number of previously-absent random edges (the paper's Multi-Modal noise).
+func RemoveAndAddEdges(g *graph.Graph, level float64, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	reduced, err := RemoveEdges(g, level, opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	toAdd := g.M() - reduced.M()
+	n := g.N()
+	existing := make(map[graph.Edge]bool, reduced.M())
+	for _, e := range reduced.Edges() {
+		existing[e.Canon()] = true
+	}
+	// Also avoid re-adding just-removed edges of the original graph? The
+	// paper adds random absent edges; absent means absent from the noisy
+	// graph, so re-adding a removed edge is allowed only if still absent.
+	edges := reduced.Edges()
+	added := 0
+	for tries := 0; added < toAdd && tries < 100*toAdd+1000; tries++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canon()
+		if existing[e] {
+			continue
+		}
+		existing[e] = true
+		edges = append(edges, e)
+		added++
+	}
+	return graph.New(n, edges)
+}
+
+// connectedWithout reports whether g stays connected when the given edges
+// are removed. Only used for KeepConnected, so it favors clarity over speed.
+func connectedWithout(g *graph.Graph, removed map[graph.Edge]bool) bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Neighbors(u) {
+			if visited[v] || removed[(graph.Edge{U: u, V: v}).Canon()] {
+				continue
+			}
+			visited[v] = true
+			count++
+			stack = append(stack, v)
+		}
+	}
+	return count == n
+}

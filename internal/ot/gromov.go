@@ -1,0 +1,194 @@
+package ot
+
+import (
+	"math"
+
+	"graphalign/internal/matrix"
+)
+
+// GWOptions configure the proximal-point Gromov–Wasserstein solver.
+type GWOptions struct {
+	// Beta is the proximal (entropic) regularization strength; the paper
+	// tunes it to 0.025 on sparse and 0.1 on dense graphs for S-GWL.
+	Beta float64
+	// OuterIters is the number of proximal-point updates of the plan.
+	OuterIters int
+	// SinkhornIters is the number of Sinkhorn scaling rounds per outer
+	// iteration.
+	SinkhornIters int
+}
+
+// DefaultGWOptions mirrors the settings used in the experiments.
+func DefaultGWOptions() GWOptions {
+	return GWOptions{Beta: 0.1, OuterIters: 20, SinkhornIters: 30}
+}
+
+// GromovWasserstein solves
+//
+//	min_{T in Pi(mu, nu)} sum_{i,j,k,l} (Ca[i][k] - Cb[j][l])^2 T[i][j] T[k][l]
+//
+// with the proximal point method: each outer iteration linearizes the
+// quadratic objective at the current plan and solves the resulting
+// entropic OT problem with Sinkhorn, using the previous plan as the
+// proximal prior. It returns the final plan T (len(mu) x len(nu)).
+//
+// The gradient uses the square-loss decomposition of Peyré et al.:
+//
+//	L(Ca, Cb) ⊗ T = cst - 2 * Ca T Cbᵀ
+//
+// where cst = (Ca∘Ca) mu 1ᵀ + 1 nuᵀ (Cb∘Cb)ᵀ depends only on the marginals.
+func GromovWasserstein(ca, cb *matrix.Dense, mu, nu []float64, opts GWOptions) *matrix.Dense {
+	n, m := ca.Rows, cb.Rows
+	if opts.OuterIters <= 0 {
+		opts.OuterIters = 1
+	}
+	// Constant part of the gradient.
+	ca2mu := make([]float64, n) // (Ca ∘ Ca) mu
+	for i := 0; i < n; i++ {
+		row := ca.Row(i)
+		var s float64
+		for k, v := range row {
+			s += v * v * mu[k]
+		}
+		ca2mu[i] = s
+	}
+	cb2nu := make([]float64, m) // (Cb ∘ Cb) nu
+	for j := 0; j < m; j++ {
+		row := cb.Row(j)
+		var s float64
+		for l, v := range row {
+			s += v * v * nu[l]
+		}
+		cb2nu[j] = s
+	}
+	cst := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		row := cst.Row(i)
+		for j := 0; j < m; j++ {
+			row[j] = ca2mu[i] + cb2nu[j]
+		}
+	}
+
+	// Initial plan: product measure mu nuᵀ.
+	t := matrix.Outer(mu, nu)
+	grad := matrix.NewDense(n, m)
+	for it := 0; it < opts.OuterIters; it++ {
+		// grad = cst - 2 * Ca T Cbᵀ
+		caT := matrix.Mul(ca, t)         // n x m
+		caTcbT := matrix.MulABT(caT, cb) // n x m  (caT * cbᵀ)
+		copy(grad.Data, cst.Data)
+		grad.AddScaled(caTcbT, -2)
+		// Proximal step: cost = grad - beta * log(T_prev); folding the log
+		// prior into the kernel is equivalent to Sinkhorn on
+		// exp(-(grad)/beta) ∘ T_prev.
+		prox := matrix.NewDense(n, m)
+		for i := range prox.Data {
+			prox.Data[i] = grad.Data[i]
+		}
+		tNew := sinkhornWithPrior(prox, t, mu, nu, opts.Beta, opts.SinkhornIters)
+		t = tNew
+	}
+	return t
+}
+
+// sinkhornWithPrior solves min <C,T> + beta*KL(T || prior) over Pi(mu, nu)
+// by scaling the kernel prior ∘ exp(-C/beta).
+func sinkhornWithPrior(c, prior *matrix.Dense, mu, nu []float64, beta float64, iters int) *matrix.Dense {
+	n, m := c.Rows, c.Cols
+	minC := c.Data[0]
+	for _, v := range c.Data {
+		if v < minC {
+			minC = v
+		}
+	}
+	k := matrix.NewDense(n, m)
+	for i, v := range c.Data {
+		k.Data[i] = prior.Data[i] * expStable(-(v-minC)/beta)
+	}
+	u := make([]float64, n)
+	v := make([]float64, m)
+	for i := range u {
+		u[i] = 1
+	}
+	for j := range v {
+		v[j] = 1
+	}
+	const tiny = 1e-300
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			row := k.Row(i)
+			var s float64
+			for j, kv := range row {
+				s += kv * v[j]
+			}
+			if s < tiny {
+				s = tiny
+			}
+			u[i] = mu[i] / s
+		}
+		for j := 0; j < m; j++ {
+			v[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			row := k.Row(i)
+			ui := u[i]
+			for j, kv := range row {
+				v[j] += kv * ui
+			}
+		}
+		for j := 0; j < m; j++ {
+			s := v[j]
+			if s < tiny {
+				s = tiny
+			}
+			v[j] = nu[j] / s
+		}
+	}
+	t := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		krow := k.Row(i)
+		trow := t.Row(i)
+		ui := u[i]
+		for j, kv := range krow {
+			trow[j] = ui * kv * v[j]
+		}
+	}
+	return t
+}
+
+func expStable(x float64) float64 {
+	if x < -700 {
+		return 0
+	}
+	if x > 700 {
+		x = 700
+	}
+	return math.Exp(x)
+}
+
+// GWDiscrepancy evaluates the Gromov–Wasserstein objective at plan t.
+func GWDiscrepancy(ca, cb, t *matrix.Dense, mu, nu []float64) float64 {
+	// <cst - 2 Ca T Cbᵀ, T> with cst as in GromovWasserstein.
+	n, m := ca.Rows, cb.Rows
+	caT := matrix.Mul(ca, t)
+	caTcbT := matrix.MulABT(caT, cb)
+	var obj float64
+	for i := 0; i < n; i++ {
+		rowA := ca.Row(i)
+		var a2 float64
+		for k, v := range rowA {
+			a2 += v * v * mu[k]
+		}
+		trow := t.Row(i)
+		grow := caTcbT.Row(i)
+		for j := 0; j < m; j++ {
+			rowB := cb.Row(j)
+			var b2 float64
+			for l, v := range rowB {
+				b2 += v * v * nu[l]
+			}
+			obj += (a2 + b2 - 2*grow[j]) * trow[j]
+		}
+	}
+	return obj
+}

@@ -1,0 +1,199 @@
+package ot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphalign/internal/matrix"
+)
+
+func TestUniformWeights(t *testing.T) {
+	w := UniformWeights(4)
+	for _, v := range w {
+		if v != 0.25 {
+			t.Fatalf("weights = %v", w)
+		}
+	}
+	if len(UniformWeights(0)) != 0 {
+		t.Error("zero-length weights")
+	}
+}
+
+func TestDegreeWeights(t *testing.T) {
+	w := DegreeWeights([]int{1, 3})
+	if math.Abs(w[0]-2.0/6) > 1e-12 || math.Abs(w[1]-4.0/6) > 1e-12 {
+		t.Errorf("degree weights = %v", w)
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Error("weights must sum to 1")
+	}
+}
+
+func TestSinkhornMarginals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 6, 8
+		c := matrix.NewDense(n, m)
+		for i := range c.Data {
+			c.Data[i] = rng.Float64()
+		}
+		mu := UniformWeights(n)
+		nu := UniformWeights(m)
+		plan := Sinkhorn(c, mu, nu, 0.1, 300)
+		// Column marginals converge exactly after a v-update; rows nearly.
+		rows := plan.RowSums()
+		cols := plan.ColSums()
+		for i, r := range rows {
+			if math.Abs(r-mu[i]) > 1e-6 {
+				return false
+			}
+		}
+		for j, cv := range cols {
+			if math.Abs(cv-nu[j]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinkhornPrefersCheapCells(t *testing.T) {
+	// 2x2 with a clearly cheap diagonal: the plan must put most mass there.
+	c := matrix.DenseFromRows([][]float64{{0, 10}, {10, 0}})
+	plan := Sinkhorn(c, UniformWeights(2), UniformWeights(2), 0.2, 200)
+	if plan.At(0, 0) < plan.At(0, 1) || plan.At(1, 1) < plan.At(1, 0) {
+		t.Errorf("plan ignores costs: %v", plan.Data)
+	}
+}
+
+func TestGromovWassersteinIdentifiesIsomorphicStructure(t *testing.T) {
+	// Two copies of the same weighted structure, one with permuted indices;
+	// GW should put the bulk of each row's mass on the true counterpart.
+	n := 8
+	rng := rand.New(rand.NewSource(3))
+	ca := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64()
+			ca.Set(i, j, v)
+			ca.Set(j, i, v)
+		}
+	}
+	perm := rng.Perm(n)
+	cb := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cb.Set(perm[i], perm[j], ca.At(i, j))
+		}
+	}
+	mu := UniformWeights(n)
+	plan := GromovWasserstein(ca, cb, mu, mu, GWOptions{Beta: 0.02, OuterIters: 40, SinkhornIters: 50})
+	correct := 0
+	for i := 0; i < n; i++ {
+		best := 0
+		row := plan.Row(i)
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == perm[i] {
+			correct++
+		}
+	}
+	if correct < n*3/4 {
+		t.Errorf("GW recovered %d/%d matches", correct, n)
+	}
+}
+
+func TestGWDiscrepancyZeroForIdentical(t *testing.T) {
+	n := 5
+	ca := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				ca.Set(i, j, 1)
+			}
+		}
+	}
+	mu := UniformWeights(n)
+	// Identity-ish plan: diagonal mass.
+	plan := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		plan.Set(i, i, 1.0/float64(n))
+	}
+	d := GWDiscrepancy(ca, ca, plan, mu, mu)
+	if math.Abs(d) > 1e-9 {
+		t.Errorf("discrepancy of identical structures under identity plan = %v", d)
+	}
+	// A maximally wrong cost pairing must score strictly worse.
+	cb := matrix.NewDense(n, n) // all-zero costs
+	d2 := GWDiscrepancy(ca, cb, plan, mu, mu)
+	if d2 <= d {
+		t.Errorf("mismatched structures should have higher discrepancy: %v <= %v", d2, d)
+	}
+}
+
+func TestGromovWassersteinMarginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, m := 6, 7
+	ca := matrix.NewDense(n, n)
+	cb := matrix.NewDense(m, m)
+	for i := range ca.Data {
+		ca.Data[i] = rng.Float64()
+	}
+	for i := range cb.Data {
+		cb.Data[i] = rng.Float64()
+	}
+	mu := UniformWeights(n)
+	nu := UniformWeights(m)
+	plan := GromovWasserstein(ca, cb, mu, nu, DefaultGWOptions())
+	cols := plan.ColSums()
+	for j, cv := range cols {
+		if math.Abs(cv-nu[j]) > 1e-6 {
+			t.Fatalf("column marginal %d = %v, want %v", j, cv, nu[j])
+		}
+	}
+}
+
+func TestGromovWassersteinExtremeBeta(t *testing.T) {
+	// Near-zero and huge regularization must both stay finite (no NaN/Inf
+	// transport mass).
+	rng := rand.New(rand.NewSource(12))
+	n := 6
+	ca := matrix.NewDense(n, n)
+	for i := range ca.Data {
+		ca.Data[i] = rng.Float64()
+	}
+	mu := UniformWeights(n)
+	for _, beta := range []float64{1e-9, 1e3} {
+		plan := GromovWasserstein(ca, ca, mu, mu, GWOptions{Beta: beta, OuterIters: 5, SinkhornIters: 10})
+		for i, v := range plan.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("beta=%v: plan[%d] = %v", beta, i, v)
+			}
+		}
+	}
+}
+
+func TestSinkhornExtremeEps(t *testing.T) {
+	c := matrix.DenseFromRows([][]float64{{0, 1e6}, {1e6, 0}})
+	mu := UniformWeights(2)
+	for _, eps := range []float64{1e-9, 1e6} {
+		plan := Sinkhorn(c, mu, mu, eps, 50)
+		for i, v := range plan.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("eps=%v: plan[%d] = %v", eps, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerate the markdown tables EXPERIMENTS.md quotes, from bench_results/.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== fig1 markdown table (powerlaw, 2% one-way noise)"
+awk 'NR>4 && $1=="powerlaw" && $4=="0.02" {print $2, $3, $5}' bench_results/fig1.txt |
+	sort | awk '
+	{acc[$1" "$2]=$3; algos[$1]=1}
+	END {
+		order="IsoRank NSD LREA GWL S-GWL CONE REGAL GRASP GRAAL"
+		n=split(order, o, " ")
+		print "| algorithm | NN | SG | MWM | JV |"
+		print "|---|---|---|---|---|"
+		for (i=1; i<=n; i++) {
+			a=o[i]
+			printf "| %s | %s | %s | %s | %s |\n", a, acc[a" NN"], acc[a" SG"], acc[a" MWM"], acc[a" JV"]
+		}
+	}'
+
+for fig in fig2 fig3 fig4 fig5 fig6; do
+	echo
+	echo "== $fig one-way accuracy series (0..5%)"
+	awk 'NR>4 && $1=="one-way" {print $3, $2, $4}' bench_results/$fig.txt |
+		sort | awk '{a[$1]=a[$1]" | "$3} END {for (k in a) print "| "k, a[k], "|"}' | sort
+done

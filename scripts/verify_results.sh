@@ -1,0 +1,48 @@
+#!/bin/sh
+# Summarize bench_results/ into the per-claim views EXPERIMENTS.md quotes.
+# Run after: go test -run XXX -bench . -benchmem .
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== fig8: accuracy by level per algorithm (mean over datasets)"
+awk 'NR>4 {acc[$4" "$3]+=$5; cnt[$4" "$3]++} END {for (k in acc) printf "%s %.3f\n", k, acc[k]/cnt[k]}' \
+    bench_results/fig8.txt | sort | awk '{a[$1]=a[$1]" "$3} END {for (k in a) print k, a[k]}' | sort
+
+echo
+echo "== fig8: mean accuracy per dataset (all algorithms, all levels)"
+awk 'NR>4 {acc[$1]+=$5; cnt[$1]++} END {for (k in acc) printf "%-18s %.3f\n", k, acc[k]/cnt[k]}' \
+    bench_results/fig8.txt | sort -k2 -n
+
+echo
+echo "== fig9: accuracy vs similarity time per algorithm (mean over levels)"
+awk 'NR>4 {acc[$2]+=$3; t[$2]+=$4+0; cnt[$2]++} END {for (k in acc) printf "%-8s acc=%.3f time=%.3fs\n", k, acc[k]/cnt[k], t[k]/cnt[k]}' \
+    bench_results/fig9.txt | sort
+
+echo
+echo "== fig10: accuracy by fraction per algorithm (mean over datasets)"
+awk 'NR>4 {acc[$3" "$2]+=$4; cnt[$3" "$2]++} END {for (k in acc) printf "%s %.3f\n", k, acc[k]/cnt[k]}' \
+    bench_results/fig10.txt | sort | awk '{a[$1]=a[$1]" "$3} END {for (k in a) print k, a[k]}' | sort
+
+echo
+echo "== fig11: similarity time by n per algorithm"
+awk 'NR>4 {print $2, $1, $3}' bench_results/fig11.txt | sort | awk '{a[$1]=a[$1]" "$2":"$3} END {for (k in a) print k, a[k]}' | sort
+
+echo
+echo "== fig13: alloc by n per algorithm"
+awk 'NR>4 {print $2, $1, $3}' bench_results/fig13.txt | sort | awk '{a[$1]=a[$1]" "$2":"$3} END {for (k in a) print k, a[k]}' | sort
+
+echo
+echo "== fig16: constant-degree accuracy by n per algorithm"
+awk 'NR>4 && $1=="constant-degree" {print $3, $2, $4}' bench_results/fig16.txt | sort | awk '{a[$1]=a[$1]" "$2":"$3} END {for (k in a) print k, a[k]}' | sort
+
+echo
+echo "== table3"
+cat bench_results/table3.txt
+
+echo
+echo "== ablation-sgwl-beta"
+cat bench_results/ablation-sgwl-beta.txt
+
+echo
+echo "== ablation-adaptive"
+cat bench_results/ablation-adaptive.txt
