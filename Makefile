@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet cover experiments clean
+.PHONY: all build test race bench vet cover experiments clean
 
 all: build
 
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Exercise the parallel runner and matrix kernels under the race detector.
+race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure; tables land in bench_results/.
 bench:

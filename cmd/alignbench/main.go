@@ -5,8 +5,13 @@
 // Usage:
 //
 //	alignbench -list
-//	alignbench -exp fig2 [-scale 0.2] [-reps 3] [-algos CONE,GRASP] [-seed 42] [-v]
+//	alignbench -exp fig2 [-scale 0.2] [-reps 3] [-algos CONE,GRASP] [-seed 42] [-workers 0] [-v]
 //	alignbench -all [-scale 0.1]
+//
+// Runs within each experiment cell fan out across -workers goroutines
+// (0 means one per CPU). Results are byte-identical for any worker count at
+// the same -seed: every noisy instance draws from its own derived RNG, so
+// no random stream depends on scheduling order.
 //
 // Results are printed as aligned text tables; -out writes them to a file
 // instead. Scale 1.0 reproduces the paper's exact sizes (slow on a laptop);
@@ -39,6 +44,7 @@ func main() {
 		outPath = flag.String("out", "", "write results to this file instead of stdout")
 		budget  = flag.Duration("budget", 2*time.Minute, "per-run budget for scalability sweeps")
 		format  = flag.String("format", "text", "output format: text or csv")
+		workers = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -55,6 +61,7 @@ func main() {
 	opts.Reps = *reps
 	opts.Seed = *seed
 	opts.PerRunBudget = *budget
+	opts.Workers = *workers
 	if *algos != "" {
 		opts.Algorithms = strings.Split(*algos, ",")
 		for i := range opts.Algorithms {

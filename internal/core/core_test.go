@@ -107,6 +107,37 @@ func TestAverage(t *testing.T) {
 	}
 }
 
+func TestAverageAllFailedJoinsDistinctErrors(t *testing.T) {
+	// Regression: an all-failed cell used to surface only runs[0].Err,
+	// misreporting mixed-cause failures.
+	timeout := errors.New("similarity: timeout")
+	singular := errors.New("assignment: singular matrix")
+	mean, ok := Average([]RunResult{
+		{Algorithm: "A", Err: timeout},
+		{Algorithm: "A", Err: singular},
+		{Algorithm: "A", Err: timeout}, // duplicate cause must not repeat
+	})
+	if ok != 0 {
+		t.Fatalf("ok = %d, want 0", ok)
+	}
+	if mean.Err == nil {
+		t.Fatal("all-failed mean must carry an error")
+	}
+	msg := mean.Err.Error()
+	if !strings.Contains(msg, "timeout") || !strings.Contains(msg, "singular matrix") {
+		t.Errorf("joined error %q missing a distinct cause", msg)
+	}
+	if strings.Count(msg, "timeout") != 1 {
+		t.Errorf("joined error %q repeats a duplicate cause", msg)
+	}
+	// A single distinct cause keeps the original error value (and its wrap
+	// chain) rather than a re-packaged copy.
+	mean, _ = Average([]RunResult{{Err: timeout}, {Err: timeout}})
+	if !errors.Is(mean.Err, timeout) {
+		t.Errorf("single-cause error not preserved: %v", mean.Err)
+	}
+}
+
 func scores(v float64) metrics.Scores {
 	return metrics.Scores{Accuracy: v}
 }

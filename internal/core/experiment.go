@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
+	"graphalign/internal/algo"
 	"graphalign/internal/assign"
 	"graphalign/internal/data"
 	"graphalign/internal/graph"
 	"graphalign/internal/noise"
+	"graphalign/internal/parallel"
 )
 
 // Options configure an experiment run. The zero value is not usable; call
@@ -37,7 +40,22 @@ type Options struct {
 	// analogue of the paper's memory/time limits on one machine. Zero
 	// means no cap.
 	MaxNodes int
+	// Workers bounds the number of concurrent runs (and noisy-instance
+	// generations) per experiment cell; 0 or negative means one worker per
+	// CPU (GOMAXPROCS), 1 runs strictly sequentially. Results are
+	// byte-identical for any Workers value at the same Seed: every
+	// (cell, rep) draws from its own RNG whose seed is derived from Seed
+	// with a splitmix-style hash, so no random stream depends on
+	// scheduling order.
+	Workers int
+	// MemProfile serializes runs and measures per-run allocation deltas
+	// (RunInstanceProfiled), populating RunResult.AllocBytes at the cost
+	// of parallelism. The memory experiments (Figures 13-14) set it; leave
+	// it false for pure quality/runtime experiments.
+	MemProfile bool
 	// Progress, when non-nil, receives one line per completed cell.
+	// Invocations are serialized by the framework, so the callback may
+	// write to shared sinks without its own locking.
 	Progress func(format string, args ...interface{})
 }
 
@@ -63,8 +81,14 @@ func (o *Options) algorithms() []string {
 	return AllAlgorithms
 }
 
+// progressMu serializes Progress callbacks: cells run sequentially, but
+// helpers fanned out across the worker pool may report per-run events.
+var progressMu sync.Mutex
+
 func (o *Options) progress(format string, args ...interface{}) {
 	if o.Progress != nil {
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		o.Progress(format, args...)
 	}
 }
@@ -135,35 +159,97 @@ func IDs() []string {
 	return ids
 }
 
-// noisyInstances builds Reps alignment instances from a base graph.
-func noisyInstances(base *graph.Graph, t noise.Type, level float64, opts Options, nopts noise.Options, rng *rand.Rand) ([]noise.Pair, error) {
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer whose
+// outputs pass statistical tests even on sequential inputs, which is what
+// lets us derive independent per-rep seeds from small hand-built integers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// instanceSeed derives the RNG seed for one (experiment cell, rep) from the
+// experiment Seed: FNV-1a over the cell labels, mixed with the rep index and
+// finalized with splitmix64. Each noisy instance therefore owns an
+// independent random stream fixed by (Seed, cell, noise type, level, rep)
+// alone — never by how many workers ran or in what order — which is the
+// invariant behind the Workers=1 vs Workers=N determinism guarantee.
+func (o *Options) instanceSeed(cell string, t noise.Type, level float64, rep int) int64 {
+	const fnvPrime = 1099511628211
+	h := uint64(14695981039346656037) ^ uint64(o.Seed)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime
+		}
+		h ^= 0xff // separator: ("ab","c") must differ from ("a","bc")
+		h *= fnvPrime
+	}
+	mix(cell)
+	mix(string(t))
+	mix(fmt.Sprintf("%g", level))
+	h ^= uint64(rep)
+	return int64(splitmix64(h))
+}
+
+// noisyInstances builds Reps alignment instances from a base graph, fanned
+// out across the worker pool. The cell string names the grid cell (dataset,
+// model, sweep point, ...) so that every (cell, rep) perturbs with its own
+// derived RNG — see instanceSeed for the determinism argument.
+func noisyInstances(base *graph.Graph, t noise.Type, level float64, opts Options, nopts noise.Options, cell string) ([]noise.Pair, error) {
 	reps := opts.Reps
 	if reps < 1 {
 		reps = 1
 	}
-	out := make([]noise.Pair, 0, reps)
-	for r := 0; r < reps; r++ {
-		p, err := noise.Apply(base, t, level, nopts, rng)
+	out := make([]noise.Pair, reps)
+	errs := make([]error, reps)
+	parallel.For(opts.Workers, reps, func(r int) {
+		rng := rand.New(rand.NewSource(opts.instanceSeed(cell, t, level, r)))
+		out[r], errs[r] = noise.Apply(base, t, level, nopts, rng)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
 	}
 	return out, nil
 }
 
-// runAveraged instantiates the named algorithm, runs it over all instances
-// with the given assignment method, and returns the averaged result. A
-// factory error is returned; per-run errors are folded into RunResult.Err.
+// runInstances fans the runs of one cell out across the worker pool. Every
+// run gets a freshly built Aligner so no algorithm state is shared between
+// goroutines (the study's aligners seed their internal RNGs from fixed
+// per-algorithm constants, so fresh instances stay deterministic). With
+// opts.MemProfile the runs take the serialized profiled path instead, which
+// is the only mode in which AllocBytes is meaningful.
+func runInstances(opts Options, build func() (algo.Aligner, error), pairs []noise.Pair, method assign.Method) []RunResult {
+	runs := make([]RunResult, len(pairs))
+	parallel.For(opts.Workers, len(pairs), func(i int) {
+		a, err := build()
+		if err != nil {
+			runs[i] = RunResult{Err: err}
+			return
+		}
+		if opts.MemProfile {
+			runs[i] = RunInstanceProfiled(a, pairs[i], method)
+		} else {
+			runs[i] = RunInstance(a, pairs[i], method)
+		}
+	})
+	return runs
+}
+
+// runAveraged instantiates the named algorithm once per instance, runs the
+// instances across the worker pool with the given assignment method, and
+// returns the averaged result. A factory error is returned; per-run errors
+// are folded into RunResult.Err.
 func runAveraged(opts Options, name string, pairs []noise.Pair, method assign.Method) (RunResult, error) {
-	a, err := opts.Factory(name)
-	if err != nil {
+	// Resolve the name up front so an unknown algorithm is a hard error
+	// rather than a silently failed cell.
+	if _, err := opts.Factory(name); err != nil {
 		return RunResult{}, err
 	}
-	runs := make([]RunResult, 0, len(pairs))
-	for _, p := range pairs {
-		runs = append(runs, RunInstance(a, p, method))
-	}
+	runs := runInstances(opts, func() (algo.Aligner, error) { return opts.Factory(name) }, pairs, method)
 	mean, _ := Average(runs)
 	mean.Algorithm = name
 	mean.Assign = method

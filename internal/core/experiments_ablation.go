@@ -13,6 +13,7 @@ import (
 	"graphalign/internal/assign"
 	"graphalign/internal/gen"
 	"graphalign/internal/noise"
+	"graphalign/internal/parallel"
 )
 
 // Ablation experiments probe the design choices DESIGN.md calls out. They
@@ -54,16 +55,15 @@ func init() {
 // powerlaw graph.
 func ablationInstances(opts Options, rng *rand.Rand) ([]noise.Pair, error) {
 	base := gen.PowerlawCluster(opts.scaledN(1133), 5, 0.5, rng)
-	return noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, rng)
+	return noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, "ablation-pl")
 }
 
-// runVariant runs a concrete aligner over instances with JV and records a
-// row keyed by the variant label.
-func runVariant(t *Table, a algo.Aligner, label map[string]string, pairs []noise.Pair) {
-	runs := make([]RunResult, 0, len(pairs))
-	for _, p := range pairs {
-		runs = append(runs, RunInstance(a, p, assign.JonkerVolgenant))
-	}
+// runVariant runs a configured aligner variant over instances with JV and
+// records a row keyed by the variant label. build is invoked once per
+// instance so the runs can fan out across the worker pool without sharing
+// aligner state between goroutines.
+func runVariant(t *Table, opts Options, build func() algo.Aligner, label map[string]string, pairs []noise.Pair) {
+	runs := runInstances(opts, func() (algo.Aligner, error) { return build(), nil }, pairs, assign.JonkerVolgenant)
 	mean, ok := Average(runs)
 	if ok == 0 {
 		return
@@ -84,17 +84,19 @@ func runAblationIsoRankPrior(opts Options) (*Table, error) {
 	t := NewTable("IsoRank prior ablation (PL graph, 1% one-way noise)",
 		[]string{"prior"}, []string{"accuracy", "s3", "sim_time"})
 	// Degree-similarity prior (the study's Section 6.1 choice).
-	runVariant(t, isorank.New(), map[string]string{"prior": "degree-similarity"}, pairs)
+	runVariant(t, opts, func() algo.Aligner { return isorank.New() },
+		map[string]string{"prior": "degree-similarity"}, pairs)
 	// Uniform prior (what earlier comparisons effectively used). The prior
-	// must match each instance's shape, so run instance-by-instance.
-	runs := make([]RunResult, 0, len(pairs))
-	for _, p := range pairs {
+	// must match each instance's shape, so build it instance-by-instance.
+	runs := make([]RunResult, len(pairs))
+	parallel.For(opts.Workers, len(pairs), func(i int) {
+		p := pairs[i]
 		ir := isorank.New()
 		uniform := algo.DegreePrior(p.Source, p.Target)
 		uniform.Fill(1)
 		ir.Prior = uniform
-		runs = append(runs, RunInstance(ir, p, assign.JonkerVolgenant))
-	}
+		runs[i] = RunInstance(ir, p, assign.JonkerVolgenant)
+	})
 	if mean, ok := Average(runs); ok > 0 {
 		t.Add(map[string]string{"prior": "uniform"}, map[string]float64{
 			"accuracy": mean.Scores.Accuracy,
@@ -114,9 +116,12 @@ func runAblationLREARank(opts Options) (*Table, error) {
 	t := NewTable("LREA iteration sweep (PL graph, 1% one-way noise)",
 		[]string{"iterations"}, []string{"accuracy", "s3", "sim_time"})
 	for _, iters := range []int{5, 10, 20, 40, 80} {
-		l := lrea.New()
-		l.Iters = iters
-		runVariant(t, l, map[string]string{"iterations": fmt.Sprintf("%d", iters)}, pairs)
+		iters := iters
+		runVariant(t, opts, func() algo.Aligner {
+			l := lrea.New()
+			l.Iters = iters
+			return l
+		}, map[string]string{"iterations": fmt.Sprintf("%d", iters)}, pairs)
 	}
 	return t, nil
 }
@@ -130,14 +135,14 @@ func runAblationLREAvsEigenAlign(opts Options) (*Table, error) {
 		[]string{"n", "algorithm"}, []string{"accuracy", "sim_time"})
 	for _, n := range []int{opts.scaledN(400), opts.scaledN(800), opts.scaledN(1600)} {
 		base := gen.PowerlawCluster(n, 4, 0.4, rng)
-		pairs, err := noisyInstances(base, noise.OneWay, 0, opts, noise.Options{}, rng)
+		pairs, err := noisyInstances(base, noise.OneWay, 0, opts, noise.Options{}, fmt.Sprintf("ablation-lrea-ea/%d", n))
 		if err != nil {
 			return nil, err
 		}
-		runVariant(t, lrea.New(), map[string]string{
+		runVariant(t, opts, func() algo.Aligner { return lrea.New() }, map[string]string{
 			"n": fmt.Sprintf("%d", n), "algorithm": "LREA",
 		}, pairs)
-		runVariant(t, lrea.NewEigenAlign(), map[string]string{
+		runVariant(t, opts, func() algo.Aligner { return lrea.NewEigenAlign() }, map[string]string{
 			"n": fmt.Sprintf("%d", n), "algorithm": "EigenAlign",
 		}, pairs)
 	}
@@ -155,10 +160,13 @@ func runAblationGRASPParams(opts Options) (*Table, error) {
 		[]string{"k", "q"}, []string{"accuracy", "s3", "sim_time"})
 	for _, k := range []int{5, 10, 20, 40} {
 		for _, q := range []int{25, 50, 100} {
-			g := grasp.New()
-			g.K = k
-			g.Q = q
-			runVariant(t, g, map[string]string{
+			k, q := k, q
+			runVariant(t, opts, func() algo.Aligner {
+				g := grasp.New()
+				g.K = k
+				g.Q = q
+				return g
+			}, map[string]string{
 				"k": fmt.Sprintf("%d", k), "q": fmt.Sprintf("%d", q),
 			}, pairs)
 		}
@@ -176,18 +184,21 @@ func runAblationSGWLBeta(opts Options) (*Table, error) {
 		[]string{"graph", "beta"}, []string{"accuracy", "s3", "sim_time"})
 	run := func(name string, pairs []noise.Pair) {
 		for _, beta := range []float64{0.01, 0.025, 0.05, 0.1, 0.2} {
-			s := sgwl.New()
-			s.Beta = beta
-			runVariant(t, s, map[string]string{
+			beta := beta
+			runVariant(t, opts, func() algo.Aligner {
+				s := sgwl.New()
+				s.Beta = beta
+				return s
+			}, map[string]string{
 				"graph": name, "beta": fmt.Sprintf("%.3f", beta),
 			}, pairs)
 		}
 	}
-	sparsePairs, err := noisyInstances(sparse, noise.OneWay, 0.01, opts, noise.Options{}, rng)
+	sparsePairs, err := noisyInstances(sparse, noise.OneWay, 0.01, opts, noise.Options{}, "ablation-sgwl/sparse")
 	if err != nil {
 		return nil, err
 	}
-	densePairs, err := noisyInstances(dense, noise.OneWay, 0.01, opts, noise.Options{}, rng)
+	densePairs, err := noisyInstances(dense, noise.OneWay, 0.01, opts, noise.Options{}, "ablation-sgwl/dense")
 	if err != nil {
 		return nil, err
 	}
@@ -206,9 +217,12 @@ func runAblationCONEDim(opts Options) (*Table, error) {
 	t := NewTable("CONE dimension sweep (PL graph, 1% one-way noise)",
 		[]string{"dim"}, []string{"accuracy", "s3", "sim_time"})
 	for _, dim := range []int{16, 32, 64, 128} {
-		c := cone.New()
-		c.Dim = dim
-		runVariant(t, c, map[string]string{"dim": fmt.Sprintf("%d", dim)}, pairs)
+		dim := dim
+		runVariant(t, opts, func() algo.Aligner {
+			c := cone.New()
+			c.Dim = dim
+			return c
+		}, map[string]string{"dim": fmt.Sprintf("%d", dim)}, pairs)
 	}
 	return t, nil
 }

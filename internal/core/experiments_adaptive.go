@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"graphalign/internal/adaptive"
+	"graphalign/internal/algo"
 	"graphalign/internal/assign"
 	"graphalign/internal/gen"
 	"graphalign/internal/noise"
@@ -39,13 +40,13 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 		g    func() ([]noise.Pair, error)
 	}{
 		{"powerlaw", func() ([]noise.Pair, error) {
-			return noisyInstances(gen.PowerlawCluster(n, 5, 0.5, rng), noise.OneWay, 0.01, opts, noise.Options{}, rng)
+			return noisyInstances(gen.PowerlawCluster(n, 5, 0.5, rng), noise.OneWay, 0.01, opts, noise.Options{}, "adaptive/powerlaw")
 		}},
 		{"small-world", func() ([]noise.Pair, error) {
-			return noisyInstances(gen.NewmanWatts(n, 8, 0.5, rng), noise.OneWay, 0.01, opts, noise.Options{}, rng)
+			return noisyInstances(gen.NewmanWatts(n, 8, 0.5, rng), noise.OneWay, 0.01, opts, noise.Options{}, "adaptive/small-world")
 		}},
 		{"sparse", func() ([]noise.Pair, error) {
-			return noisyInstances(gen.WattsStrogatz(n, 2, 0.1, rng), noise.OneWay, 0.01, opts, noise.Options{}, rng)
+			return noisyInstances(gen.WattsStrogatz(n, 2, 0.1, rng), noise.OneWay, 0.01, opts, noise.Options{}, "adaptive/sparse")
 		}},
 	}
 	var regimes []regime
@@ -59,21 +60,16 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 
 	for _, rg := range regimes {
 		// The adaptive dispatcher first.
-		runVariant(t, adaptive.New(), map[string]string{
+		runVariant(t, opts, func() algo.Aligner { return adaptive.New() }, map[string]string{
 			"regime": rg.name, "algorithm": "Adaptive",
 		}, rg.pairs)
 		// Then every fixed algorithm from the study's set.
 		for _, name := range opts.algorithms() {
-			a, err := opts.Factory(name)
+			mean, err := runAveraged(opts, name, rg.pairs, assign.JonkerVolgenant)
 			if err != nil {
 				return nil, err
 			}
-			runs := make([]RunResult, 0, len(rg.pairs))
-			for _, p := range rg.pairs {
-				runs = append(runs, RunInstance(a, p, assign.JonkerVolgenant))
-			}
-			mean, ok := Average(runs)
-			if ok == 0 {
+			if mean.Err != nil {
 				continue
 			}
 			t.Add(map[string]string{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"graphalign/internal/algo"
 	"graphalign/internal/algo/netalign"
 	"graphalign/internal/assign"
 	"graphalign/internal/gen"
@@ -34,11 +35,11 @@ func runExcludedNetAlign(opts Options) (*Table, error) {
 		[]string{"accuracy", "s3", "sim_time"},
 	)
 	for _, level := range lowNoiseLevels {
-		pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{}, rng)
+		pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{}, "excluded-netalign")
 		if err != nil {
 			return nil, err
 		}
-		runVariant(t, netalign.New(), map[string]string{
+		runVariant(t, opts, func() algo.Aligner { return netalign.New() }, map[string]string{
 			"level": fmt.Sprintf("%.2f", level), "algorithm": "NetAlign",
 		}, pairs)
 		for _, name := range opts.algorithms() {

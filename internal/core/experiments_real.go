@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"graphalign/internal/assign"
@@ -36,7 +35,6 @@ func init() {
 
 // runRealNoise is the shared driver for Figures 7 and 8.
 func runRealNoise(opts Options, datasets []string, noiseTypes []noise.Type, levels []float64, valueCols []string) (*Table, error) {
-	rng := rand.New(rand.NewSource(opts.Seed))
 	t := NewTable(
 		"Real-graph stand-ins",
 		[]string{"dataset", "noise", "level", "algorithm"},
@@ -50,7 +48,7 @@ func runRealNoise(opts Options, datasets []string, noiseTypes []noise.Type, leve
 		base, _ = graph.LargestComponent(base)
 		for _, nt := range noiseTypes {
 			for _, level := range levels {
-				pairs, err := noisyInstances(base, nt, level, opts, noise.Options{}, rng)
+				pairs, err := noisyInstances(base, nt, level, opts, noise.Options{}, dsName)
 				if err != nil {
 					return nil, err
 				}
@@ -108,7 +106,6 @@ func runFig8(opts Options) (*Table, error) {
 // runFig9 reproduces the time-vs-accuracy scatter on NetScience: accuracy
 // and similarity time per algorithm per noise level.
 func runFig9(opts Options) (*Table, error) {
-	rng := rand.New(rand.NewSource(opts.Seed))
 	base, err := opts.loadDataset("ca-netscience")
 	if err != nil {
 		return nil, err
@@ -120,7 +117,7 @@ func runFig9(opts Options) (*Table, error) {
 		[]string{"accuracy", "sim_time", "assign_time"},
 	)
 	for _, level := range highNoiseLevels {
-		pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{}, rng)
+		pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{}, "fig9")
 		if err != nil {
 			return nil, err
 		}

@@ -89,6 +89,9 @@ func runScalability(opts Options, byNodes, memory bool) (*Table, error) {
 	valueCol := "sim_time"
 	if memory {
 		valueCol = "mem"
+		// AllocBytes is only meaningful when runs are serialized and
+		// profiled; see RunInstanceProfiled.
+		opts.MemProfile = true
 	}
 	var xs []int
 	fixedN := 0
@@ -130,13 +133,11 @@ func runScalability(opts Options, byNodes, memory bool) (*Table, error) {
 		}
 		degseq := gen.NormalDegrees(n, float64(deg), float64(deg)/5+1, rng)
 		base := gen.ConfigurationModel(degseq, rng)
-		pairs := make([]noise.Pair, 0, reps)
-		for r := 0; r < reps; r++ {
-			p, err := noise.Apply(base, noise.OneWay, 0.01, noise.Options{}, rng)
-			if err != nil {
-				return nil, err
-			}
-			pairs = append(pairs, p)
+		repOpts := opts
+		repOpts.Reps = reps
+		pairs, err := noisyInstances(base, noise.OneWay, 0.01, repOpts, noise.Options{}, fmt.Sprintf("scal/%s/%d", xLabel, x))
+		if err != nil {
+			return nil, err
 		}
 		for _, name := range algorithms {
 			if skipped[name] {
@@ -223,7 +224,7 @@ func fig15Point(opts Options, t *Table, rng *rand.Rand, sweep string, n, k int, 
 		k++
 	}
 	base := gen.NewmanWatts(n, k, p, rng)
-	pairs, err := noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, rng)
+	pairs, err := noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, fmt.Sprintf("fig15/%s/%g/%d", sweep, p, k))
 	if err != nil {
 		return err
 	}
@@ -272,7 +273,7 @@ func runFig16(opts Options) (*Table, error) {
 				continue
 			}
 			base := gen.NewmanWatts(n, k, 0.5, rng)
-			pairs, err := noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, rng)
+			pairs, err := noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, fmt.Sprintf("fig16/%s/%d", regime, n))
 			if err != nil {
 				return nil, err
 			}

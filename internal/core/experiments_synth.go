@@ -61,7 +61,7 @@ func runModelFigure(opts Options, model gen.Model) (*Table, error) {
 	)
 	for _, nt := range noise.Types() {
 		for _, level := range lowNoiseLevels {
-			pairs, err := noisyInstances(base, nt, level, opts, noise.Options{}, rng)
+			pairs, err := noisyInstances(base, nt, level, opts, noise.Options{}, string(model))
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +114,7 @@ func runFig1(opts Options) (*Table, error) {
 	for _, ds := range graphs {
 		base, _ := graph.LargestComponent(ds.g)
 		for _, level := range lowNoiseLevels {
-			pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{KeepConnected: true}, rng)
+			pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{KeepConnected: true}, "fig1/"+ds.name)
 			if err != nil {
 				return nil, err
 			}

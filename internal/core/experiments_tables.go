@@ -85,7 +85,7 @@ func runTable3(opts Options) (*Table, error) {
 		}
 		var pairs []noise.Pair
 		for _, nt := range noise.Types() {
-			ps, err := noisyInstances(base, nt, 0.02, opts, noise.Options{}, rng)
+			ps, err := noisyInstances(base, nt, 0.02, opts, noise.Options{}, "table3/"+string(model))
 			if err != nil {
 				return nil, err
 			}

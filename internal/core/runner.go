@@ -6,8 +6,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"graphalign/internal/algo"
@@ -31,7 +34,11 @@ type RunResult struct {
 	// AssignTime is the time spent extracting the matching.
 	AssignTime time.Duration
 	// AllocBytes is the total heap allocated during the run (a
-	// single-process proxy for the paper's peak-memory measurements).
+	// single-process proxy for the paper's peak-memory measurements). It is
+	// only populated by RunInstanceProfiled: process-wide allocation deltas
+	// are meaningless when other runs execute concurrently, so the plain
+	// RunInstance path leaves it zero and the memory experiments opt into
+	// the serialized profiled mode instead (Options.MemProfile).
 	AllocBytes uint64
 	// Err records a failed run; Scores are zero in that case. The paper
 	// likewise reports nothing for runs that exceed its limits.
@@ -40,12 +47,10 @@ type RunResult struct {
 
 // RunInstance aligns pair.Source to pair.Target with the given algorithm
 // and assignment method and scores the result against the instance's
-// ground truth.
+// ground truth. It is safe to call concurrently as long as each call gets
+// its own Aligner instance; AllocBytes is left zero (see RunInstanceProfiled).
 func RunInstance(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
 	res := RunResult{Algorithm: a.Name(), Assign: method}
-
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
 
 	t0 := time.Now()
 	sim, err := a.Similarity(pair.Source, pair.Target)
@@ -66,15 +71,37 @@ func RunInstance(a algo.Aligner, pair noise.Pair, method assign.Method) RunResul
 	}
 	res.AssignTime = time.Since(t1)
 
-	runtime.ReadMemStats(&after)
-	res.AllocBytes = after.TotalAlloc - before.TotalAlloc
-
 	res.Scores = metrics.All(pair.Source, pair.Target, mapping, pair.TrueMap)
 	return res
 }
 
+// memProfileMu serializes profiled runs: runtime.ReadMemStats reports
+// process-wide counters, so two overlapping profiled runs would attribute
+// each other's allocations to themselves.
+var memProfileMu sync.Mutex
+
+// RunInstanceProfiled is RunInstance plus an AllocBytes measurement taken
+// from the process-wide TotalAlloc delta around the run. Profiled runs are
+// serialized behind a global mutex so concurrent runs cannot pollute each
+// other's delta; background runtime activity (GC metadata, timers) is still
+// included, so treat AllocBytes as an upper-bound proxy for the paper's
+// peak-memory numbers, not an exact footprint.
+func RunInstanceProfiled(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
+	memProfileMu.Lock()
+	defer memProfileMu.Unlock()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := RunInstance(a, pair, method)
+	runtime.ReadMemStats(&after)
+	res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	return res
+}
+
 // Average folds a set of run results into mean scores and times, skipping
-// failed runs; ok reports how many runs succeeded.
+// failed runs; ok reports how many runs succeeded. When every run failed,
+// the returned result carries an error joining the distinct failure
+// messages, so a mixed-cause cell (e.g. one timeout and two numerical
+// failures) is not misreported as its first cause alone.
 func Average(runs []RunResult) (mean RunResult, ok int) {
 	if len(runs) == 0 {
 		return RunResult{}, 0
@@ -98,7 +125,7 @@ func Average(runs []RunResult) (mean RunResult, ok int) {
 		alloc += r.AllocBytes
 	}
 	if ok == 0 {
-		mean.Err = runs[0].Err
+		mean.Err = joinRunErrors(runs)
 		return mean, 0
 	}
 	f := float64(ok)
@@ -111,4 +138,30 @@ func Average(runs []RunResult) (mean RunResult, ok int) {
 	mean.AssignTime = asgT / time.Duration(ok)
 	mean.AllocBytes = alloc / uint64(ok)
 	return mean, ok
+}
+
+// joinRunErrors collapses the errors of an all-failed cell into one error
+// listing each distinct message once, in first-occurrence order. A cell
+// with a single distinct cause keeps its original error (and wrap chain).
+func joinRunErrors(runs []RunResult) error {
+	var firsts []error
+	seen := make(map[string]bool)
+	for _, r := range runs {
+		if r.Err == nil || seen[r.Err.Error()] {
+			continue
+		}
+		seen[r.Err.Error()] = true
+		firsts = append(firsts, r.Err)
+	}
+	switch len(firsts) {
+	case 0:
+		return nil
+	case 1:
+		return firsts[0]
+	}
+	msgs := make([]string, len(firsts))
+	for i, err := range firsts {
+		msgs[i] = err.Error()
+	}
+	return errors.New(strings.Join(msgs, "; "))
 }

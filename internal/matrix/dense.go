@@ -6,7 +6,16 @@ package matrix
 import (
 	"fmt"
 	"math"
+
+	"graphalign/internal/parallel"
 )
+
+// parallelFlops is the approximate multiply-add count above which the
+// multiplication kernels fan rows out across the worker pool. Below it the
+// goroutine handoff costs more than it saves. Row-blocked parallelism keeps
+// results bitwise identical to the serial kernels: each output row is
+// computed by exactly one goroutine in the same inner-loop order.
+const parallelFlops = 1 << 21
 
 // Dense is a row-major dense matrix of float64.
 type Dense struct {
@@ -103,45 +112,62 @@ func (m *Dense) T() *Dense {
 	return t
 }
 
-// Mul returns a*b.
+// Mul returns a*b. Large products are row-blocked across the worker pool;
+// the result is bitwise identical to the serial computation.
 func Mul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
+	mulRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
+	}
+	if work := a.Rows * a.Cols * b.Cols; work >= parallelFlops {
+		parallel.Blocks(0, a.Rows, mulRows)
+	} else {
+		mulRows(0, a.Rows)
 	}
 	return out
 }
 
-// MulABT returns a * bᵀ, i.e. out[i][j] = <a.Row(i), b.Row(j)>.
+// MulABT returns a * bᵀ, i.e. out[i][j] = <a.Row(i), b.Row(j)>. Large
+// products are row-blocked across the worker pool; the result is bitwise
+// identical to the serial computation.
 func MulABT(a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: mulABT shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewDense(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	mulRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
+	}
+	if work := a.Rows * a.Cols * b.Rows; work >= parallelFlops {
+		parallel.Blocks(0, a.Rows, mulRows)
+	} else {
+		mulRows(0, a.Rows)
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package matrix
 import (
 	"fmt"
 	"sort"
+
+	"graphalign/internal/parallel"
 )
 
 // CSR is a compressed sparse row matrix of float64.
@@ -108,22 +110,31 @@ func (m *CSR) MulVecT(x []float64) []float64 {
 }
 
 // MulDense returns m * d as a new dense matrix (m is NumRows x NumCols,
-// d is NumCols x d.Cols).
+// d is NumCols x d.Cols). Large products are row-blocked across the worker
+// pool (each goroutine owns a contiguous range of output rows); the result
+// is bitwise identical to the serial computation.
 func (m *CSR) MulDense(d *Dense) *Dense {
 	if m.NumCols != d.Rows {
 		panic(fmt.Sprintf("matrix: csr muldense shape mismatch %dx%d * %dx%d", m.NumRows, m.NumCols, d.Rows, d.Cols))
 	}
 	out := NewDense(m.NumRows, d.Cols)
-	for r := 0; r < m.NumRows; r++ {
-		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
-		orow := out.Row(r)
-		for k := lo; k < hi; k++ {
-			v := m.Val[k]
-			drow := d.Row(m.ColIdx[k])
-			for j, dv := range drow {
-				orow[j] += v * dv
+	mulRows := func(lo0, hi0 int) {
+		for r := lo0; r < hi0; r++ {
+			lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+			orow := out.Row(r)
+			for k := lo; k < hi; k++ {
+				v := m.Val[k]
+				drow := d.Row(m.ColIdx[k])
+				for j, dv := range drow {
+					orow[j] += v * dv
+				}
 			}
 		}
+	}
+	if work := m.NNZ() * d.Cols; work >= parallelFlops {
+		parallel.Blocks(0, m.NumRows, mulRows)
+	} else {
+		mulRows(0, m.NumRows)
 	}
 	return out
 }

@@ -90,6 +90,9 @@ func S3(src, dst *graph.Graph, mapping []int) float64 {
 // MNC is the average matched neighborhood consistency (Equation 15): for
 // each source node i, the Jaccard similarity between the image of its
 // neighborhood under the alignment and the target neighborhood of its match.
+// Two empty neighborhoods (an isolated source node matched to an isolated
+// target node) count as fully consistent — the empty sets agree — so a
+// perfect alignment of a graph with isolated nodes scores exactly 1.
 func MNC(src, dst *graph.Graph, mapping []int) float64 {
 	n := src.N()
 	if n == 0 {
@@ -117,6 +120,8 @@ func MNC(src, dst *graph.Graph, mapping []int) float64 {
 		}
 		if union > 0 {
 			total += float64(inter) / float64(union)
+		} else {
+			total++ // empty vs empty: 0/0 Jaccard is consistency, not failure
 		}
 	}
 	return total / float64(n)

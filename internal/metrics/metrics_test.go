@@ -112,6 +112,28 @@ func TestMNCHandComputed(t *testing.T) {
 	}
 }
 
+func TestMNCIsolatedNodesPerfectAlignment(t *testing.T) {
+	// Regression: a graph with isolated nodes under the identity mapping
+	// used to score MNC < 1, because an empty-vs-empty neighborhood
+	// comparison counted as 0-consistency while still entering the
+	// denominator. Empty matched to empty is perfect agreement.
+	g := graph.MustNew(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}) // nodes 3,4,5 isolated
+	if got := MNC(g, g, identity(6)); got != 1 {
+		t.Errorf("MNC of identity on graph with isolated nodes = %v, want 1", got)
+	}
+	// All-isolated graph, identity mapping: still perfect.
+	iso := graph.MustNew(4, nil)
+	if got := MNC(iso, iso, identity(4)); got != 1 {
+		t.Errorf("MNC of identity on edgeless graph = %v, want 1", got)
+	}
+	// Unmatched isolated nodes are still skipped (counted as wrong).
+	m := identity(6)
+	m[5] = -1
+	if got := MNC(g, g, m); got >= 1 {
+		t.Errorf("MNC with unmatched node = %v, want < 1", got)
+	}
+}
+
 func TestEmptyAndDegenerate(t *testing.T) {
 	empty := graph.MustNew(0, nil)
 	if MNC(empty, empty, nil) != 0 {

@@ -120,6 +120,10 @@ func RemoveEdges(g *graph.Graph, level float64, opts Options, rng *rand.Rand) (*
 
 // RemoveAndAddEdges removes ceil(level*m) random edges and adds the same
 // number of previously-absent random edges (the paper's Multi-Modal noise).
+// "Absent" means absent from the original graph: candidate edges are drawn
+// until they hit a non-edge of g, so an edge removed earlier in the same
+// call is never silently re-inserted (which would shrink the effective
+// noise level), and self-loops (u == v) are rejected outright.
 func RemoveAndAddEdges(g *graph.Graph, level float64, opts Options, rng *rand.Rand) (*graph.Graph, error) {
 	reduced, err := RemoveEdges(g, level, opts, rng)
 	if err != nil {
@@ -127,13 +131,13 @@ func RemoveAndAddEdges(g *graph.Graph, level float64, opts Options, rng *rand.Ra
 	}
 	toAdd := g.M() - reduced.M()
 	n := g.N()
-	existing := make(map[graph.Edge]bool, reduced.M())
-	for _, e := range reduced.Edges() {
-		existing[e.Canon()] = true
+	// Forbid every edge of the original graph — this covers both the kept
+	// edges (already present in reduced) and the just-removed ones — plus
+	// edges added earlier in this call.
+	forbidden := make(map[graph.Edge]bool, g.M()+toAdd)
+	for _, e := range g.Edges() {
+		forbidden[e.Canon()] = true
 	}
-	// Also avoid re-adding just-removed edges of the original graph? The
-	// paper adds random absent edges; absent means absent from the noisy
-	// graph, so re-adding a removed edge is allowed only if still absent.
 	edges := reduced.Edges()
 	added := 0
 	for tries := 0; added < toAdd && tries < 100*toAdd+1000; tries++ {
@@ -143,10 +147,10 @@ func RemoveAndAddEdges(g *graph.Graph, level float64, opts Options, rng *rand.Ra
 			continue
 		}
 		e := graph.Edge{U: u, V: v}.Canon()
-		if existing[e] {
+		if forbidden[e] {
 			continue
 		}
-		existing[e] = true
+		forbidden[e] = true
 		edges = append(edges, e)
 		added++
 	}

@@ -76,6 +76,49 @@ func TestMultiModalEdgeAccounting(t *testing.T) {
 	}
 }
 
+func TestRemoveAndAddEdgesNoSelfLoopsNoReinsertion(t *testing.T) {
+	// Regression: additions used to treat only the reduced graph's edges as
+	// "existing", so an edge removed in the same call could be re-inserted,
+	// silently shrinking the effective noise level. Additions must now come
+	// from the complement of the original edge set (which also rules out
+	// self-loops — the graph constructor would reject those outright).
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := testGraph(seed)
+		level := 0.2
+		out, err := RemoveAndAddEdges(g, level, Options{}, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.M() != g.M() {
+			t.Errorf("seed %d: edge count %d, want %d", seed, out.M(), g.M())
+		}
+		wantRemoved := int(level*float64(g.M()) + 0.5)
+		removed, added := 0, 0
+		for _, e := range g.Edges() {
+			if !out.HasEdge(e.U, e.V) {
+				removed++
+			}
+		}
+		for _, e := range out.Edges() {
+			if e.U == e.V {
+				t.Fatalf("seed %d: self-loop (%d,%d)", seed, e.U, e.V)
+			}
+			if !g.HasEdge(e.U, e.V) {
+				added++
+			}
+		}
+		// Every one of the wantRemoved removals must survive: a re-inserted
+		// removed edge would show up as removed < wantRemoved.
+		if removed != wantRemoved {
+			t.Errorf("seed %d: %d edges removed, want %d (re-insertion?)", seed, removed, wantRemoved)
+		}
+		if added != wantRemoved {
+			t.Errorf("seed %d: %d edges added, want %d", seed, added, wantRemoved)
+		}
+	}
+}
+
 func TestTwoWayEdgeAccounting(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := testGraph(4)

@@ -1,0 +1,100 @@
+// Package parallel provides the small bounded worker pool shared by the
+// experiment runner and the matrix kernels. It has two primitives: For,
+// which hands individual iterations to a fixed set of workers (good for
+// coarse, uneven work such as algorithm runs), and Blocks, which splits an
+// index range into one contiguous block per worker (good for row-blocked
+// matrix kernels, where contiguity keeps writes cache-friendly and disjoint).
+//
+// Both primitives block until every iteration has returned, never spawn more
+// goroutines than there is work, and degrade to a plain inline loop when
+// given a single worker — so callers can use them unconditionally and steer
+// concurrency with a single integer.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values <= 0 mean "one per
+// available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines.
+// Iterations are claimed from a shared atomic counter, so long iterations do
+// not stall short ones queued behind them. fn must be safe for concurrent
+// invocation; writes to shared state must be synchronized by the caller
+// (writing fn(i)'s result to slot i of a preallocated slice is safe without
+// locks). workers <= 0 means GOMAXPROCS; with one worker or n <= 1 the loop
+// runs inline on the calling goroutine.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Blocks partitions [0, n) into at most workers contiguous blocks and runs
+// fn(lo, hi) once per block, each on its own goroutine. Blocks differ in
+// size by at most one. The same concurrency rules as For apply; with one
+// worker or n <= 1 the single block runs inline.
+func Blocks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	size, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

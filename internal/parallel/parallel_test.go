@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 257
+		var hits [n]atomic.Int32
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -1, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+func TestForSingleWorkerRunsInOrder(t *testing.T) {
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v", order)
+		}
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 10}, {3, 10}, {4, 4}, {8, 3}, {5, 0},
+	} {
+		const max = 64
+		var hits [max]atomic.Int32
+		Blocks(tc.workers, tc.n, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("workers=%d n=%d: empty block [%d,%d)", tc.workers, tc.n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := 0; i < tc.n; i++ {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d n=%d: index %d covered %d times", tc.workers, tc.n, i, got)
+			}
+		}
+		for i := tc.n; i < max; i++ {
+			if hits[i].Load() != 0 {
+				t.Fatalf("workers=%d n=%d: index %d out of range touched", tc.workers, tc.n, i)
+			}
+		}
+	}
+}
