@@ -17,6 +17,13 @@
 // instead. Scale 1.0 reproduces the paper's exact sizes (slow on a laptop);
 // the default 0.2 keeps every experiment tractable while preserving the
 // comparative shape of the results.
+//
+// Observability (all off by default; none of these affect the results):
+//
+//	-trace-out run.jsonl   stream structured span/metric events as JSONL
+//	-cpuprofile cpu.pprof  write a CPU profile for the whole invocation
+//	-memprofile mem.pprof  write a heap profile at exit
+//	-debug-addr :6060      serve /debug/pprof/ and /debug/vars while running
 package main
 
 import (
@@ -24,27 +31,45 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"graphalign"
 	"graphalign/internal/core"
+	"graphalign/internal/obsv"
+	"graphalign/internal/parallel"
 )
 
 func main() {
+	if err := runCLI(); err != nil {
+		fmt.Fprintln(os.Stderr, "alignbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runCLI holds the whole program so deferred cleanups (profiles, trace
+// files) fire on every exit path; main translates its error into the exit
+// status.
+func runCLI() error {
 	var (
-		expID   = flag.String("exp", "", "experiment id (fig1..fig16, table1, table3, ablation-*)")
-		list    = flag.Bool("list", false, "list available experiments")
-		all     = flag.Bool("all", false, "run every experiment")
-		scale   = flag.Float64("scale", 0.2, "graph-size scale relative to the paper (0 < s <= 1)")
-		reps    = flag.Int("reps", 3, "noisy instances averaged per point")
-		algos   = flag.String("algos", "", "comma-separated algorithm subset (default: all nine)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		verbose = flag.Bool("v", false, "print progress lines")
-		outPath = flag.String("out", "", "write results to this file instead of stdout")
-		budget  = flag.Duration("budget", 2*time.Minute, "per-run budget for scalability sweeps")
-		format  = flag.String("format", "text", "output format: text or csv")
-		workers = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
+		expID      = flag.String("exp", "", "experiment id (fig1..fig16, table1, table3, ablation-*)")
+		list       = flag.Bool("list", false, "list available experiments")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.Float64("scale", 0.2, "graph-size scale relative to the paper (0 < s <= 1)")
+		reps       = flag.Int("reps", 3, "noisy instances averaged per point")
+		algos      = flag.String("algos", "", "comma-separated algorithm subset (default: all nine)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		verbose    = flag.Bool("v", false, "print progress lines")
+		outPath    = flag.String("out", "", "write results to this file instead of stdout")
+		budget     = flag.Duration("budget", 2*time.Minute, "per-run budget for scalability sweeps")
+		format     = flag.String("format", "text", "output format: text or csv")
+		workers    = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
+		traceOut   = flag.String("trace-out", "", "write span/metric events as JSONL to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -53,7 +78,7 @@ func main() {
 			e, _ := core.Get(id)
 			fmt.Printf("%-22s %s\n", id, e.Title)
 		}
-		return
+		return nil
 	}
 
 	opts := core.DefaultOptions(graphalign.NewAligner)
@@ -68,21 +93,80 @@ func main() {
 			opts.Algorithms[i] = strings.TrimSpace(opts.Algorithms[i])
 		}
 	}
-	if *verbose {
-		opts.Progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+
+	// Observability wiring. With every flag off, tracer stays nil and the
+	// run is byte-identical to an uninstrumented build.
+	var tracer *obsv.Tracer
+	var traceSink *obsv.WriterSink
+	reg := obsv.NewRegistry()
+	observing := *traceOut != "" || *debugAddr != ""
+	if observing || *verbose {
+		tracer = obsv.New().SetRegistry(reg)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = obsv.NewWriterSink(f)
+		tracer.AddSink(traceSink)
+	}
+	if *verbose {
+		tracer.AddSink(obsv.ProgressFunc(func(msg string) {
+			fmt.Fprintln(os.Stderr, msg)
+		}))
+	}
+	if *debugAddr != "" {
+		srv, addr, err := obsv.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "alignbench: debug server on http://%s/debug/pprof/\n", addr)
+	}
+	if observing {
+		onStart, onStop := obsv.PoolHooks(reg)
+		parallel.SetHooks(onStart, onStop)
+		defer parallel.SetHooks(nil, nil)
+		stop := obsv.StartRuntimeSampler(tracer, time.Second)
+		defer stop()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "alignbench: heap profile:", err)
+			}
+			f.Close()
+		}()
+	}
+	opts.Tracer = tracer
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "alignbench:", cerr)
 			}
 		}()
 		out = f
@@ -103,31 +187,33 @@ func main() {
 	for _, id := range ids {
 		e, err := core.Get(id)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		start := time.Now()
-		table, err := e.Run(opts)
+		table, err := core.RunExperiment(id, opts)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			return fmt.Errorf("%s: %w", id, err)
 		}
 		switch *format {
 		case "csv":
 			if err := table.RenderCSV(out); err != nil {
-				fatal(err)
+				return err
 			}
 		case "text":
 			fmt.Fprintf(out, "# %s — %s\n", e.ID, e.Title)
 			if err := table.Render(out); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Fprintf(out, "(completed in %s)\n\n", time.Since(start).Round(time.Millisecond))
 		default:
-			fatal(fmt.Errorf("unknown format %q", *format))
+			return fmt.Errorf("unknown format %q", *format)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "alignbench:", err)
-	os.Exit(1)
+	tracer.EmitMetrics()
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
+	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -101,5 +104,96 @@ func TestCSVFormat(t *testing.T) {
 func TestUnknownFormat(t *testing.T) {
 	if out, err := run(t, "-exp", "table1", "-format", "yaml"); err == nil {
 		t.Errorf("unknown format accepted:\n%s", out)
+	}
+}
+
+func TestTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	out, err := run(t, "-exp", "fig9", "-scale", "0.05", "-reps", "1",
+		"-algos", "NSD", "-trace-out", trace, "-out", filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	types := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		typ, _ := e["type"].(string)
+		if typ == "" {
+			t.Fatalf("event missing type: %s", sc.Text())
+		}
+		types[typ]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"experiment_start", "experiment_done", "cell_done",
+		"run_start", "run_end", "phase", "metrics",
+	} {
+		if types[want] == 0 {
+			t.Errorf("trace missing %q events (have %v)", want, types)
+		}
+	}
+	if types["phase"] < 3*types["run_end"] {
+		t.Errorf("expected >=3 phases per run: %v", types)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	render := func(traced bool) string {
+		path := filepath.Join(dir, fmt.Sprintf("out-%v.csv", traced))
+		// fig10's columns (accuracy, mnc, s3) are all seed-determined; other
+		// figures carry wall-clock columns that differ across any two runs.
+		args := []string{"-exp", "fig10", "-scale", "0.05", "-reps", "1",
+			"-algos", "NSD", "-format", "csv", "-out", path}
+		if traced {
+			args = append(args, "-trace-out", filepath.Join(dir, "t.jsonl"))
+		}
+		out, err := run(t, args...)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if plain, traced := render(false), render(true); plain != traced {
+		t.Errorf("-trace-out changed experiment output:\n--- plain ---\n%s\n--- traced ---\n%s", plain, traced)
+	}
+}
+
+func TestCPUProfileFlag(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "cpu.pprof")
+	out, err := run(t, "-exp", "table1", "-cpuprofile", prof, "-out", filepath.Join(dir, "o.txt"))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	info, err := os.Stat(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("CPU profile file is empty")
 	}
 }

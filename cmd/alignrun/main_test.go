@@ -112,3 +112,16 @@ func TestUnknownAlgorithm(t *testing.T) {
 		t.Errorf("unknown algorithm accepted:\n%s", out)
 	}
 }
+
+func TestTimeSplitReported(t *testing.T) {
+	src, dst, _ := writeInstance(t)
+	out, err := run(t, "-algo", "NSD", "-src", src, "-dst", dst, "-q")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, field := range []string{"time=", "sim_time=", "assign_time="} {
+		if !strings.Contains(out, field) {
+			t.Errorf("metrics line missing %s:\n%s", field, out)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"graphalign/internal/adaptive"
 	"graphalign/internal/algo"
@@ -188,6 +189,21 @@ func AlignDefault(name string, src, dst *Graph) ([]int, error) {
 		return nil, err
 	}
 	return algo.AlignDefault(a, src, dst)
+}
+
+// AlignTimed is Align reporting how the runtime splits between the
+// similarity computation and the assignment step (the paper's runtime
+// figures exclude assignment). An empty method selects the algorithm's
+// author-proposed assignment.
+func AlignTimed(name string, src, dst *Graph, method AssignMethod) (mapping []int, simTime, assignTime time.Duration, err error) {
+	a, err := NewAligner(name)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if method == "" {
+		method = a.DefaultAssignment()
+	}
+	return algo.AlignTimed(a, src, dst, method)
 }
 
 // Evaluate computes all five quality measures of the study for a mapping;

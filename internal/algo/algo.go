@@ -11,10 +11,12 @@ package algo
 
 import (
 	"fmt"
+	"time"
 
 	"graphalign/internal/assign"
 	"graphalign/internal/graph"
 	"graphalign/internal/matrix"
+	"graphalign/internal/obsv"
 )
 
 // Aligner is a graph alignment algorithm reduced to its similarity notion.
@@ -29,25 +31,48 @@ type Aligner interface {
 	DefaultAssignment() assign.Method
 }
 
+// Instrumented is optionally implemented by aligners that can report the
+// inner phases of Similarity (eigendecompositions, optimal-transport
+// recursions, power-iteration convergence) through an observability span.
+// The experiment runner calls SetSpan with the enclosing run's span before
+// invoking Similarity; with tracing disabled the span is nil, which is a
+// valid value — obsv.Span methods no-op on nil, so implementations store
+// and use it unconditionally.
+type Instrumented interface {
+	SetSpan(*obsv.Span)
+}
+
 // Align runs a full alignment: similarity followed by the requested
 // assignment method. Nearest-neighbor extractions are restricted to
 // one-to-one outputs, as the paper does for comparability.
 func Align(a Aligner, src, dst *graph.Graph, method assign.Method) ([]int, error) {
+	mapping, _, _, err := AlignTimed(a, src, dst, method)
+	return mapping, err
+}
+
+// AlignTimed is Align reporting how the runtime splits between the
+// similarity computation and the assignment step — the distinction the
+// paper's runtime figures are built on (they exclude assignment).
+func AlignTimed(a Aligner, src, dst *graph.Graph, method assign.Method) (mapping []int, simTime, assignTime time.Duration, err error) {
 	if src.N() > dst.N() {
-		return nil, fmt.Errorf("algo: source graph larger than target (%d > %d)", src.N(), dst.N())
+		return nil, 0, 0, fmt.Errorf("algo: source graph larger than target (%d > %d)", src.N(), dst.N())
 	}
+	t0 := time.Now()
 	sim, err := a.Similarity(src, dst)
+	simTime = time.Since(t0)
 	if err != nil {
-		return nil, fmt.Errorf("algo: %s similarity: %w", a.Name(), err)
+		return nil, simTime, 0, fmt.Errorf("algo: %s similarity: %w", a.Name(), err)
 	}
-	mapping, err := assign.Solve(method, sim)
+	t1 := time.Now()
+	mapping, err = assign.Solve(method, sim)
 	if err != nil {
-		return nil, fmt.Errorf("algo: %s assignment: %w", a.Name(), err)
+		return nil, simTime, time.Since(t1), fmt.Errorf("algo: %s assignment: %w", a.Name(), err)
 	}
 	if method == assign.NearestNeighbor {
 		mapping = assign.EnforceOneToOne(sim, mapping)
 	}
-	return mapping, nil
+	assignTime = time.Since(t1)
+	return mapping, simTime, assignTime, nil
 }
 
 // AlignDefault runs Align with the algorithm's author-proposed assignment.

@@ -21,6 +21,7 @@ import (
 	"graphalign/internal/graph"
 	"graphalign/internal/linalg"
 	"graphalign/internal/matrix"
+	"graphalign/internal/obsv"
 )
 
 // GRASP aligns graphs via Laplacian spectral signatures.
@@ -40,7 +41,14 @@ type GRASP struct {
 	HeatFeatures bool
 	// Seed drives the Lanczos starting vector.
 	Seed int64
+
+	// span receives the inner phases of Similarity (algo.Instrumented);
+	// nil (the default) disables tracing at zero cost.
+	span *obsv.Span
 }
+
+// SetSpan implements algo.Instrumented.
+func (g *GRASP) SetSpan(s *obsv.Span) { g.span = s }
 
 // New returns GRASP with the study's tuned hyperparameters (q=100, k=20).
 func New() *GRASP {
@@ -72,20 +80,27 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	}
 	rng := rand.New(rand.NewSource(g.Seed))
 
+	sp := g.span.Phase("eigendecomposition")
+	sp.Set("k", k)
 	valsA, phiA, err := laplacianEigs(src, k, rng)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	valsB, phiB, err := laplacianEigs(dst, k, rng)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
+	sp = g.span.Phase("heat_kernels")
+	sp.Set("q", g.Q)
 	ts := logspace(g.TMin, g.TMax, g.Q)
 	// Corresponding functions: F[i][t] = Σ_j exp(-t λ_j) φ_j(i)² (diagonal
 	// of the heat kernel), one column per time step.
 	fA := heatDiagonals(valsA, phiA, ts) // n1 x q
 	fB := heatDiagonals(valsB, phiB, ts) // n2 x q
+	sp.End()
 
 	// Base alignment (Equation 14): find the orthogonal M aligning the two
 	// eigenbases through their corresponding-function projections. With
@@ -96,10 +111,12 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	// cannot (the published method optimizes the same objective on the
 	// Stiefel manifold; the diagonalization term corresponds to the
 	// eigenvalue weighting already implicit in the heat-kernel projections).
+	sp = g.span.Phase("base_alignment")
 	a := project(phiA, fA)     // k x q  (Φᵀ F)
 	b := project(phiB, fB)     // k x q  (Ψᵀ G)
 	abt := matrix.MulABT(a, b) // k x k = a bᵀ
 	u, sv, v := linalg.SVDAny(abt)
+	sp.End()
 	// The SVD pairs canonical directions of the two eigenbases: column j of
 	// Φ U corresponds to column j of Ψ V with correlation strength sv[j]
 	// (for a noiseless permuted copy, Ψ V = P Φ U exactly). Unreliable
@@ -131,6 +148,7 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 		featDst = appendHeatFeatures(featDst, fB)
 	}
 	// Similarity = negative distance, shifted positive.
+	sp = g.span.Phase("feature_distance")
 	sim := matrix.NewDense(n1, n2)
 	for i := 0; i < n1; i++ {
 		ri := featSrc.Row(i)
@@ -145,6 +163,7 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 			row[j] = -d2
 		}
 	}
+	sp.End()
 	return sim, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"graphalign/internal/assign"
 	"graphalign/internal/graph"
 	"graphalign/internal/matrix"
+	"graphalign/internal/obsv"
 )
 
 // IsoRank aligns graphs by recursive neighborhood similarity.
@@ -35,7 +36,14 @@ type IsoRank struct {
 	// Prior overrides the degree-similarity prior when non-nil; it must be
 	// |V_src| x |V_dst|.
 	Prior *matrix.Dense
+
+	// span receives the power-iteration phase (algo.Instrumented); nil
+	// (the default) disables tracing at zero cost.
+	span *obsv.Span
 }
+
+// SetSpan implements algo.Instrumented.
+func (ir *IsoRank) SetSpan(s *obsv.Span) { ir.span = s }
 
 // New returns IsoRank with the study's tuned hyperparameters
 // (alpha=0.9, 100 iterations).
@@ -81,8 +89,12 @@ func (ir *IsoRank) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	if iters <= 0 {
 		iters = 100
 	}
+	sp := ir.span.Phase("power_iteration")
+	converged := false
+	performed := 0
 	tmp := matrix.NewDense(n, m)
 	for it := 0; it < iters; it++ {
+		performed = it + 1
 		// tmp = D_src^-1 R, then right-multiply by (D_dst^-1 A_dst)ᵀ, then
 		// left-multiply by A_src. Using CSR ops:
 		// step1: S1 = R * (D_dst^-1 A_dst)ᵀ  => S1 = R * normᵀ; rows of R
@@ -114,9 +126,13 @@ func (ir *IsoRank) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 		// the topological operator is substochastic.
 		algo.NormalizeSim(r)
 		if maxDiff < ir.Tol {
+			converged = true
 			break
 		}
 	}
+	sp.Set("iterations", performed)
+	sp.Set("converged", converged)
+	sp.End()
 	return r, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"graphalign/internal/assign"
 	"graphalign/internal/graph"
 	"graphalign/internal/matrix"
+	"graphalign/internal/obsv"
 	"graphalign/internal/ot"
 )
 
@@ -32,7 +33,14 @@ type SGWL struct {
 	LeafSize int
 	// OuterIters / SinkhornIters configure the GW solver.
 	OuterIters, SinkhornIters int
+
+	// span receives the recursion's inner phases (algo.Instrumented); nil
+	// (the default) disables tracing at zero cost.
+	span *obsv.Span
 }
+
+// SetSpan implements algo.Instrumented.
+func (s *SGWL) SetSpan(sp *obsv.Span) { s.span = sp }
 
 // New returns S-GWL with the study's dense-data hyperparameters.
 func New() *SGWL {
@@ -93,7 +101,15 @@ func (s *SGWL) recurse(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *mat
 	// (the mechanism of the original S-GWL): transporting both graphs to
 	// the same barycenter makes cluster k of the source correspond to
 	// cluster k of the target by construction.
+	sp := s.span.Phase("partition")
+	sp.Set("depth", depth)
+	sp.Set("n_src", len(srcNodes))
+	sp.Set("n_dst", len(dstNodes))
+	sp.Set("ot_outer_iters", s.OuterIters)
+	sp.Set("ot_sinkhorn_iters", s.SinkhornIters)
 	labS, labD, ok := s.coPartition(subSrc, subDst, k)
+	sp.Set("ok", ok)
+	sp.End()
 	if !ok {
 		s.solveLeaf(src, dst, srcNodes, dstNodes, sim)
 		return
@@ -277,6 +293,10 @@ func smoothedLabels(g *graph.Graph, t *matrix.Dense) [][]int {
 
 // solveLeaf runs dense GW on the induced pair and writes the plan back.
 func (s *SGWL) solveLeaf(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *matrix.Dense) {
+	sp := s.span.Phase("leaf_solve")
+	sp.Set("n_src", len(srcNodes))
+	sp.Set("n_dst", len(dstNodes))
+	defer sp.End()
 	subSrc, _ := graph.InducedSubgraph(src, srcNodes)
 	subDst, _ := graph.InducedSubgraph(dst, dstNodes)
 	mu := ot.DegreeWeights(subSrc.Degrees())

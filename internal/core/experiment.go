@@ -12,6 +12,7 @@ import (
 	"graphalign/internal/data"
 	"graphalign/internal/graph"
 	"graphalign/internal/noise"
+	"graphalign/internal/obsv"
 	"graphalign/internal/parallel"
 )
 
@@ -55,8 +56,45 @@ type Options struct {
 	MemProfile bool
 	// Progress, when non-nil, receives one line per completed cell.
 	// Invocations are serialized by the framework, so the callback may
-	// write to shared sinks without its own locking.
+	// write to shared sinks without its own locking. RunExperiment
+	// re-implements this legacy callback as one tracer sink; experiments
+	// invoked directly keep the plain callback path.
 	Progress func(format string, args ...interface{})
+	// Tracer, when non-nil, receives structured telemetry: run_start /
+	// run_end events with nested phase spans for every algorithm run,
+	// cell_done events with completed/total counts, progress lines, and
+	// gauge samples. Tracing never alters experiment results — at a fixed
+	// Seed and Workers the output tables are byte-identical with the
+	// tracer attached or nil; only the tracer's own sinks see more.
+	Tracer *obsv.Tracer
+
+	// obs is the per-Options observability state (progress mutex, cell
+	// counters) shared by every copy of this Options value. DefaultOptions
+	// allocates one; zero-literal Options fall back to a package-level
+	// instance, which preserves the old behavior of serializing all
+	// Progress callbacks process-wide for that legacy path only.
+	obs *obsState
+}
+
+// obsState serializes Progress callbacks and tracks cell completion for
+// completed/total progress reporting. It lives behind a pointer so that
+// the Options copies handed to drivers, reps and workers all share it,
+// while two independent DefaultOptions values (e.g. concurrent experiments
+// with different Progress sinks) no longer serialize against each other.
+type obsState struct {
+	mu    sync.Mutex
+	total int
+	done  int
+	start time.Time
+}
+
+var fallbackObs obsState
+
+func (o *Options) obsv() *obsState {
+	if o.obs != nil {
+		return o.obs
+	}
+	return &fallbackObs
 }
 
 // DefaultOptions returns options sized for a laptop-class machine.
@@ -68,6 +106,7 @@ func DefaultOptions(f Factory) Options {
 		Seed:         42,
 		PerRunBudget: 2 * time.Minute,
 		MaxNodes:     800,
+		obs:          &obsState{},
 	}
 }
 
@@ -81,15 +120,68 @@ func (o *Options) algorithms() []string {
 	return AllAlgorithms
 }
 
-// progressMu serializes Progress callbacks: cells run sequentially, but
-// helpers fanned out across the worker pool may report per-run events.
-var progressMu sync.Mutex
-
+// progress reports one line through both observability paths: as a
+// "progress" event on the tracer (whose own mutex serializes sinks) and to
+// the legacy Progress callback, serialized by the per-Options obsState
+// mutex. Cells run sequentially, but helpers fanned out across the worker
+// pool may report per-run events, so both paths must tolerate concurrency.
 func (o *Options) progress(format string, args ...interface{}) {
+	if o.Progress == nil && o.Tracer == nil {
+		return
+	}
+	if o.Tracer != nil {
+		o.Tracer.Progress(fmt.Sprintf(format, args...))
+	}
 	if o.Progress != nil {
-		progressMu.Lock()
-		defer progressMu.Unlock()
+		st := o.obsv()
+		st.mu.Lock()
+		defer st.mu.Unlock()
 		o.Progress(format, args...)
+	}
+}
+
+// declareCells announces how many grid cells the running experiment will
+// process, resetting the completion counter; cellDone then reports
+// completed/total counts with an ETA. A zero or unknown total still counts
+// cells but omits the ratio and ETA.
+func (o *Options) declareCells(total int) {
+	st := o.obsv()
+	st.mu.Lock()
+	st.total = total
+	st.done = 0
+	st.start = time.Now()
+	st.mu.Unlock()
+}
+
+// cellDone records the completion of one experiment grid cell: a cell_done
+// trace event carrying completed/total counts and the ETA extrapolated
+// from the mean cell duration so far, plus a matching progress line.
+func (o *Options) cellDone(cell string) {
+	if o.Progress == nil && o.Tracer == nil {
+		return
+	}
+	st := o.obsv()
+	st.mu.Lock()
+	if st.start.IsZero() {
+		st.start = time.Now()
+	}
+	st.done++
+	done, total := st.done, st.total
+	var eta time.Duration
+	if total > 0 && done <= total {
+		eta = time.Since(st.start) / time.Duration(done) * time.Duration(total-done)
+	}
+	st.mu.Unlock()
+
+	if o.Tracer != nil {
+		o.Tracer.Emit("cell_done", cell, map[string]any{
+			"done": done, "total": total, "eta_s": eta.Seconds(),
+		})
+	}
+	if total > 0 {
+		o.progress("cell %d/%d done: %s (eta %s)", done, total, cell, eta.Round(time.Second))
+	} else {
+		o.progress("cell %d done: %s", done, cell)
 	}
 }
 
@@ -147,6 +239,38 @@ func Get(id string) (Experiment, error) {
 	}
 	ids := IDs()
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q (have %v)", id, ids)
+}
+
+// RunExperiment looks up and runs one experiment with full observability
+// wiring: a legacy Progress callback is re-attached as a tracer sink (so
+// every line flows through one serialized pipeline), the per-experiment
+// cell counters are reset, and the run is bracketed by experiment_start /
+// experiment_done events carrying the duration and row count. Calling the
+// experiment's Run directly remains supported and behaves as before; this
+// wrapper only adds reporting, never changes results.
+func RunExperiment(id string, opts Options) (*Table, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Progress != nil && opts.Tracer == nil {
+		p := opts.Progress
+		opts.Tracer = obsv.New(obsv.ProgressFunc(func(msg string) { p("%s", msg) }))
+		opts.Progress = nil
+	}
+	opts.obs = &obsState{start: time.Now()}
+	opts.Tracer.Emit("experiment_start", id, map[string]any{"title": e.Title})
+	start := time.Now()
+	table, runErr := e.Run(opts)
+	fields := map[string]any{"seconds": time.Since(start).Seconds()}
+	if table != nil {
+		fields["rows"] = len(table.Rows)
+	}
+	if runErr != nil {
+		fields["err"] = runErr.Error()
+	}
+	opts.Tracer.Emit("experiment_done", id, fields)
+	return table, runErr
 }
 
 // IDs returns all experiment ids sorted.
@@ -231,9 +355,9 @@ func runInstances(opts Options, build func() (algo.Aligner, error), pairs []nois
 			return
 		}
 		if opts.MemProfile {
-			runs[i] = RunInstanceProfiled(a, pairs[i], method)
+			runs[i] = runInstanceProfiled(a, pairs[i], method, opts.Tracer)
 		} else {
-			runs[i] = RunInstance(a, pairs[i], method)
+			runs[i] = RunInstanceTraced(a, pairs[i], method, opts.Tracer)
 		}
 	})
 	return runs

@@ -83,9 +83,11 @@ func runAblationIsoRankPrior(opts Options) (*Table, error) {
 	}
 	t := NewTable("IsoRank prior ablation (PL graph, 1% one-way noise)",
 		[]string{"prior"}, []string{"accuracy", "s3", "sim_time"})
+	opts.declareCells(2)
 	// Degree-similarity prior (the study's Section 6.1 choice).
 	runVariant(t, opts, func() algo.Aligner { return isorank.New() },
 		map[string]string{"prior": "degree-similarity"}, pairs)
+	opts.cellDone("ablation-isorank-prior/degree-similarity")
 	// Uniform prior (what earlier comparisons effectively used). The prior
 	// must match each instance's shape, so build it instance-by-instance.
 	runs := make([]RunResult, len(pairs))
@@ -104,6 +106,7 @@ func runAblationIsoRankPrior(opts Options) (*Table, error) {
 			"sim_time": mean.SimilarityTime.Seconds(),
 		})
 	}
+	opts.cellDone("ablation-isorank-prior/uniform")
 	return t, nil
 }
 
@@ -115,13 +118,16 @@ func runAblationLREARank(opts Options) (*Table, error) {
 	}
 	t := NewTable("LREA iteration sweep (PL graph, 1% one-way noise)",
 		[]string{"iterations"}, []string{"accuracy", "s3", "sim_time"})
-	for _, iters := range []int{5, 10, 20, 40, 80} {
+	sweep := []int{5, 10, 20, 40, 80}
+	opts.declareCells(len(sweep))
+	for _, iters := range sweep {
 		iters := iters
 		runVariant(t, opts, func() algo.Aligner {
 			l := lrea.New()
 			l.Iters = iters
 			return l
 		}, map[string]string{"iterations": fmt.Sprintf("%d", iters)}, pairs)
+		opts.cellDone(fmt.Sprintf("ablation-lrea-rank/%d", iters))
 	}
 	return t, nil
 }
@@ -133,7 +139,9 @@ func runAblationLREAvsEigenAlign(opts Options) (*Table, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	t := NewTable("LREA vs exact EigenAlign (isomorphic powerlaw instances)",
 		[]string{"n", "algorithm"}, []string{"accuracy", "sim_time"})
-	for _, n := range []int{opts.scaledN(400), opts.scaledN(800), opts.scaledN(1600)} {
+	sizes := []int{opts.scaledN(400), opts.scaledN(800), opts.scaledN(1600)}
+	opts.declareCells(len(sizes) * 2)
+	for _, n := range sizes {
 		base := gen.PowerlawCluster(n, 4, 0.4, rng)
 		pairs, err := noisyInstances(base, noise.OneWay, 0, opts, noise.Options{}, fmt.Sprintf("ablation-lrea-ea/%d", n))
 		if err != nil {
@@ -142,9 +150,11 @@ func runAblationLREAvsEigenAlign(opts Options) (*Table, error) {
 		runVariant(t, opts, func() algo.Aligner { return lrea.New() }, map[string]string{
 			"n": fmt.Sprintf("%d", n), "algorithm": "LREA",
 		}, pairs)
+		opts.cellDone(fmt.Sprintf("ablation-lrea-ea/LREA/%d", n))
 		runVariant(t, opts, func() algo.Aligner { return lrea.NewEigenAlign() }, map[string]string{
 			"n": fmt.Sprintf("%d", n), "algorithm": "EigenAlign",
 		}, pairs)
+		opts.cellDone(fmt.Sprintf("ablation-lrea-ea/EigenAlign/%d", n))
 	}
 	t.Sort()
 	return t, nil
@@ -158,8 +168,10 @@ func runAblationGRASPParams(opts Options) (*Table, error) {
 	}
 	t := NewTable("GRASP (k, q) sweep (PL graph, 1% one-way noise)",
 		[]string{"k", "q"}, []string{"accuracy", "s3", "sim_time"})
-	for _, k := range []int{5, 10, 20, 40} {
-		for _, q := range []int{25, 50, 100} {
+	ks, qs := []int{5, 10, 20, 40}, []int{25, 50, 100}
+	opts.declareCells(len(ks) * len(qs))
+	for _, k := range ks {
+		for _, q := range qs {
 			k, q := k, q
 			runVariant(t, opts, func() algo.Aligner {
 				g := grasp.New()
@@ -169,6 +181,7 @@ func runAblationGRASPParams(opts Options) (*Table, error) {
 			}, map[string]string{
 				"k": fmt.Sprintf("%d", k), "q": fmt.Sprintf("%d", q),
 			}, pairs)
+			opts.cellDone(fmt.Sprintf("ablation-grasp/k=%d/q=%d", k, q))
 		}
 	}
 	t.Sort()
@@ -182,8 +195,10 @@ func runAblationSGWLBeta(opts Options) (*Table, error) {
 	dense := gen.PowerlawCluster(n, 8, 0.5, rng) // dense, skewed
 	t := NewTable("S-GWL beta sweep (1% one-way noise)",
 		[]string{"graph", "beta"}, []string{"accuracy", "s3", "sim_time"})
+	betas := []float64{0.01, 0.025, 0.05, 0.1, 0.2}
+	opts.declareCells(2 * len(betas))
 	run := func(name string, pairs []noise.Pair) {
-		for _, beta := range []float64{0.01, 0.025, 0.05, 0.1, 0.2} {
+		for _, beta := range betas {
 			beta := beta
 			runVariant(t, opts, func() algo.Aligner {
 				s := sgwl.New()
@@ -192,6 +207,7 @@ func runAblationSGWLBeta(opts Options) (*Table, error) {
 			}, map[string]string{
 				"graph": name, "beta": fmt.Sprintf("%.3f", beta),
 			}, pairs)
+			opts.cellDone(fmt.Sprintf("ablation-sgwl/%s/beta=%.3f", name, beta))
 		}
 	}
 	sparsePairs, err := noisyInstances(sparse, noise.OneWay, 0.01, opts, noise.Options{}, "ablation-sgwl/sparse")
@@ -216,13 +232,16 @@ func runAblationCONEDim(opts Options) (*Table, error) {
 	}
 	t := NewTable("CONE dimension sweep (PL graph, 1% one-way noise)",
 		[]string{"dim"}, []string{"accuracy", "s3", "sim_time"})
-	for _, dim := range []int{16, 32, 64, 128} {
+	dims := []int{16, 32, 64, 128}
+	opts.declareCells(len(dims))
+	for _, dim := range dims {
 		dim := dim
 		runVariant(t, opts, func() algo.Aligner {
 			c := cone.New()
 			c.Dim = dim
 			return c
 		}, map[string]string{"dim": fmt.Sprintf("%d", dim)}, pairs)
+		opts.cellDone(fmt.Sprintf("ablation-cone/dim=%d", dim))
 	}
 	return t, nil
 }

@@ -58,6 +58,7 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 		regimes = append(regimes, regime{b.name, pairs})
 	}
 
+	opts.declareCells(len(regimes))
 	for _, rg := range regimes {
 		// The adaptive dispatcher first.
 		runVariant(t, opts, func() algo.Aligner { return adaptive.New() }, map[string]string{
@@ -80,6 +81,7 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 			})
 			opts.progress("ablation-adaptive %s %s acc=%.3f", rg.name, name, mean.Scores.Accuracy)
 		}
+		opts.cellDone("ablation-adaptive/" + rg.name)
 	}
 	t.Sort()
 	if len(t.Rows) == 0 {

@@ -34,6 +34,7 @@ func runExcludedNetAlign(opts Options) (*Table, error) {
 		[]string{"level", "algorithm"},
 		[]string{"accuracy", "s3", "sim_time"},
 	)
+	opts.declareCells(len(lowNoiseLevels))
 	for _, level := range lowNoiseLevels {
 		pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{}, "excluded-netalign")
 		if err != nil {
@@ -59,6 +60,7 @@ func runExcludedNetAlign(opts Options) (*Table, error) {
 			})
 			opts.progress("excluded-netalign level=%.2f %s acc=%.3f", level, name, mean.Scores.Accuracy)
 		}
+		opts.cellDone(fmt.Sprintf("excluded-netalign/%.2f", level))
 	}
 	t.Sort()
 	return t, nil

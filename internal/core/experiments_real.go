@@ -40,6 +40,7 @@ func runRealNoise(opts Options, datasets []string, noiseTypes []noise.Type, leve
 		[]string{"dataset", "noise", "level", "algorithm"},
 		valueCols,
 	)
+	opts.declareCells(len(datasets) * len(noiseTypes) * len(levels))
 	for _, dsName := range datasets {
 		base, err := opts.loadDataset(dsName)
 		if err != nil {
@@ -74,6 +75,7 @@ func runRealNoise(opts Options, datasets []string, noiseTypes []noise.Type, leve
 					})
 					opts.progress("%s %s level=%.2f %s acc=%.3f", dsName, nt, level, name, mean.Scores.Accuracy)
 				}
+				opts.cellDone(fmt.Sprintf("%s/%s/%.2f", dsName, nt, level))
 			}
 		}
 	}
@@ -116,6 +118,7 @@ func runFig9(opts Options) (*Table, error) {
 		[]string{"level", "algorithm"},
 		[]string{"accuracy", "sim_time", "assign_time"},
 	)
+	opts.declareCells(len(highNoiseLevels))
 	for _, level := range highNoiseLevels {
 		pairs, err := noisyInstances(base, noise.OneWay, level, opts, noise.Options{}, "fig9")
 		if err != nil {
@@ -139,6 +142,7 @@ func runFig9(opts Options) (*Table, error) {
 			})
 			opts.progress("fig9 level=%.2f %s acc=%.3f t=%s", level, name, mean.Scores.Accuracy, mean.SimilarityTime.Round(time.Millisecond))
 		}
+		opts.cellDone(fmt.Sprintf("fig9/%.2f", level))
 	}
 	t.Sort()
 	return t, nil
@@ -153,7 +157,9 @@ func runFig10(opts Options) (*Table, error) {
 		[]string{"dataset", "fraction", "algorithm"},
 		[]string{"accuracy", "mnc", "s3"},
 	)
-	for _, dsName := range []string{"highschool", "voles", "multimagna"} {
+	datasets := []string{"highschool", "voles", "multimagna"}
+	opts.declareCells(len(datasets) * len(fractions))
+	for _, dsName := range datasets {
 		pairs, err := data.EvolvingVariantsScaled(dsName, fractions, opts.effectiveScale())
 		if err != nil {
 			return nil, err
@@ -179,6 +185,7 @@ func runFig10(opts Options) (*Table, error) {
 				})
 				opts.progress("fig10 %s f=%.2f %s acc=%.3f", dsName, fractions[i], name, mean.Scores.Accuracy)
 			}
+			opts.cellDone(fmt.Sprintf("fig10/%s/%.2f", dsName, fractions[i]))
 		}
 	}
 	t.Sort()

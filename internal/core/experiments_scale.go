@@ -118,6 +118,7 @@ func runScalability(opts Options, byNodes, memory bool) (*Table, error) {
 		}
 		algorithms = append(algorithms, a)
 	}
+	opts.declareCells(len(xs))
 	skipped := make(map[string]bool)
 	reps := opts.Reps
 	if reps < 1 {
@@ -167,6 +168,7 @@ func runScalability(opts Options, byNodes, memory bool) (*Table, error) {
 			}, map[string]float64{valueCol: val})
 			opts.progress("scalability %s=%d %s %s=%.3g", xLabel, x, name, valueCol, val)
 		}
+		opts.cellDone(fmt.Sprintf("scal/%s/%d", xLabel, x))
 	}
 	t.Sort()
 	return t, nil
@@ -183,23 +185,21 @@ func runFig15(opts Options) (*Table, error) {
 		[]string{"sweep", "p", "k", "algorithm"},
 		[]string{"accuracy"},
 	)
-	// Part A: rewiring probability sweep at two lattice degrees.
+	// Precompute both sweeps (applying the degree guards) so the cell total
+	// is known before any point runs.
 	type cell struct {
-		p float64
-		k int
+		sweep string
+		p     float64
+		k     int
 	}
 	var cells []cell
+	// Part A: rewiring probability sweep at two lattice degrees.
 	for _, k := range []int{10, 100} {
-		for _, p := range []float64{0.2, 0.5, 0.9} {
-			cells = append(cells, cell{p, k})
-		}
-	}
-	for _, c := range cells {
-		if c.k >= n {
+		if k >= n {
 			continue
 		}
-		if err := fig15Point(opts, t, rng, "p-sweep", n, c.k, c.p); err != nil {
-			return nil, err
+		for _, p := range []float64{0.2, 0.5, 0.9} {
+			cells = append(cells, cell{"p-sweep", p, k})
 		}
 	}
 	// Part B: lattice degree sweep at p = 0.5.
@@ -211,9 +211,14 @@ func runFig15(opts Options) (*Table, error) {
 		if kk >= n/2 {
 			continue
 		}
-		if err := fig15Point(opts, t, rng, "k-sweep", n, kk, 0.5); err != nil {
+		cells = append(cells, cell{"k-sweep", 0.5, kk})
+	}
+	opts.declareCells(len(cells))
+	for _, c := range cells {
+		if err := fig15Point(opts, t, rng, c.sweep, n, c.k, c.p); err != nil {
 			return nil, err
 		}
+		opts.cellDone(fmt.Sprintf("fig15/%s/p=%.1f/k=%d", c.sweep, c.p, c.k))
 	}
 	t.Sort()
 	return t, nil
@@ -260,6 +265,13 @@ func runFig16(opts Options) (*Table, error) {
 	for _, paperN := range []int{500, 1000, 2000, 4000} {
 		sizes = append(sizes, opts.scaledN(paperN))
 	}
+	// Precompute the (regime, n) grid passing the degree guards so the cell
+	// total is known before any point runs.
+	type cell struct {
+		regime string
+		n, k   int
+	}
+	var cells []cell
 	for _, regime := range []string{"constant-degree", "constant-density"} {
 		for _, n := range sizes {
 			k := 10
@@ -272,25 +284,30 @@ func runFig16(opts Options) (*Table, error) {
 			if k < 2 || k >= n/2 {
 				continue
 			}
-			base := gen.NewmanWatts(n, k, 0.5, rng)
-			pairs, err := noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, fmt.Sprintf("fig16/%s/%d", regime, n))
+			cells = append(cells, cell{regime, n, k})
+		}
+	}
+	opts.declareCells(len(cells))
+	for _, c := range cells {
+		base := gen.NewmanWatts(c.n, c.k, 0.5, rng)
+		pairs, err := noisyInstances(base, noise.OneWay, 0.01, opts, noise.Options{}, fmt.Sprintf("fig16/%s/%d", c.regime, c.n))
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range opts.algorithms() {
+			mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
 			if err != nil {
 				return nil, err
 			}
-			for _, name := range opts.algorithms() {
-				mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
-				if err != nil {
-					return nil, err
-				}
-				if mean.Err != nil {
-					continue
-				}
-				t.Add(map[string]string{
-					"regime": regime, "n": fmt.Sprintf("%d", n), "algorithm": name,
-				}, map[string]float64{"accuracy": mean.Scores.Accuracy})
-				opts.progress("fig16 %s n=%d %s acc=%.3f", regime, n, name, mean.Scores.Accuracy)
+			if mean.Err != nil {
+				continue
 			}
+			t.Add(map[string]string{
+				"regime": c.regime, "n": fmt.Sprintf("%d", c.n), "algorithm": name,
+			}, map[string]float64{"accuracy": mean.Scores.Accuracy})
+			opts.progress("fig16 %s n=%d %s acc=%.3f", c.regime, c.n, name, mean.Scores.Accuracy)
 		}
+		opts.cellDone(fmt.Sprintf("fig16/%s/%d", c.regime, c.n))
 	}
 	t.Sort()
 	return t, nil

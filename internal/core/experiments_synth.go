@@ -59,6 +59,7 @@ func runModelFigure(opts Options, model gen.Model) (*Table, error) {
 		[]string{"noise", "level", "algorithm"},
 		[]string{"accuracy", "s3", "mnc", "sim_time"},
 	)
+	opts.declareCells(len(noise.Types()) * len(lowNoiseLevels))
 	for _, nt := range noise.Types() {
 		for _, level := range lowNoiseLevels {
 			pairs, err := noisyInstances(base, nt, level, opts, noise.Options{}, string(model))
@@ -86,6 +87,7 @@ func runModelFigure(opts Options, model gen.Model) (*Table, error) {
 				})
 				opts.progress("%s %s level=%.2f %s acc=%.3f", model, nt, level, name, mean.Scores.Accuracy)
 			}
+			opts.cellDone(fmt.Sprintf("%s/%s/%.2f", model, nt, level))
 		}
 	}
 	t.Sort()
@@ -111,6 +113,7 @@ func runFig1(opts Options) (*Table, error) {
 		name string
 		g    *graph.Graph
 	}{{"arenas", arenas}, {"powerlaw", pl}}
+	opts.declareCells(len(graphs) * len(lowNoiseLevels))
 	for _, ds := range graphs {
 		base, _ := graph.LargestComponent(ds.g)
 		for _, level := range lowNoiseLevels {
@@ -139,6 +142,7 @@ func runFig1(opts Options) (*Table, error) {
 				}
 				opts.progress("fig1 %s level=%.2f %s done", ds.name, level, name)
 			}
+			opts.cellDone(fmt.Sprintf("fig1/%s/%.2f", ds.name, level))
 		}
 	}
 	t.Sort()

@@ -78,6 +78,7 @@ func runTable3(opts Options) (*Table, error) {
 		[]string{"ER", "BA", "WS", "NW", "PL", "mean"},
 	)
 	scores := make(map[string]map[string]float64) // algorithm -> model -> acc
+	opts.declareCells(len(gen.Models()))
 	for _, model := range gen.Models() {
 		base, err := gen.GenerateScaled(model, n, rng)
 		if err != nil {
@@ -105,6 +106,7 @@ func runTable3(opts Options) (*Table, error) {
 			scores[name][string(model)] = mean.Scores.Accuracy
 			opts.progress("table3 %s %s acc=%.3f", model, name, mean.Scores.Accuracy)
 		}
+		opts.cellDone("table3/" + string(model))
 	}
 	for _, name := range opts.algorithms() {
 		row := scores[name]

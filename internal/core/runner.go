@@ -17,6 +17,7 @@ import (
 	"graphalign/internal/assign"
 	"graphalign/internal/metrics"
 	"graphalign/internal/noise"
+	"graphalign/internal/obsv"
 )
 
 // Factory instantiates an alignment algorithm by its canonical paper name.
@@ -50,28 +51,68 @@ type RunResult struct {
 // ground truth. It is safe to call concurrently as long as each call gets
 // its own Aligner instance; AllocBytes is left zero (see RunInstanceProfiled).
 func RunInstance(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
-	res := RunResult{Algorithm: a.Name(), Assign: method}
+	return RunInstanceTraced(a, pair, method, nil)
+}
 
+// RunInstanceTraced is RunInstance reporting through a tracer: the run is
+// bracketed by run_start/run_end events, the similarity, assignment and
+// scoring stages become nested phase spans, and algorithms implementing
+// algo.Instrumented record their own inner phases under the run span. A nil
+// tracer reduces to exactly RunInstance — tracing never changes the
+// computation, only what is observed about it.
+func RunInstanceTraced(a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer) RunResult {
+	res := RunResult{Algorithm: a.Name(), Assign: method}
+	run := tr.StartRun(a.Name(), map[string]any{
+		"assign": string(method),
+		"n_src":  pair.Source.N(),
+		"n_dst":  pair.Target.N(),
+	})
+	if inst, ok := a.(algo.Instrumented); ok {
+		inst.SetSpan(run)
+	}
+	reg := tr.Registry()
+	reg.Counter("runs_total").Add(1)
+
+	sp := run.Phase("similarity")
 	t0 := time.Now()
 	sim, err := a.Similarity(pair.Source, pair.Target)
 	res.SimilarityTime = time.Since(t0)
+	sp.End()
 	if err != nil {
 		res.Err = fmt.Errorf("similarity: %w", err)
-		return res
+		return endRunErr(run, reg, res)
 	}
 
+	sp = run.Phase("assign")
+	sp.Set("method", string(method))
+	sp.Set("size", sim.Rows)
+	reg.Histogram("lap_solve_size", obsv.SizeBuckets()).Observe(float64(sim.Rows))
 	t1 := time.Now()
 	mapping, err := assign.Solve(method, sim)
 	if err != nil {
+		sp.End()
 		res.Err = fmt.Errorf("assignment: %w", err)
-		return res
+		return endRunErr(run, reg, res)
 	}
 	if method == assign.NearestNeighbor {
 		mapping = assign.EnforceOneToOne(sim, mapping)
 	}
 	res.AssignTime = time.Since(t1)
+	sp.End()
 
+	sp = run.Phase("metrics")
 	res.Scores = metrics.All(pair.Source, pair.Target, mapping, pair.TrueMap)
+	sp.End()
+	run.End()
+	return res
+}
+
+// endRunErr closes a failed run's span with its error annotated and counts
+// it in the registry.
+func endRunErr(run *obsv.Span, reg *obsv.Registry, res RunResult) RunResult {
+	run.Set("err", res.Err.Error())
+	run.End()
+	reg.Counter("run_errors_total").Add(1)
 	return res
 }
 
@@ -87,11 +128,15 @@ var memProfileMu sync.Mutex
 // included, so treat AllocBytes as an upper-bound proxy for the paper's
 // peak-memory numbers, not an exact footprint.
 func RunInstanceProfiled(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
+	return runInstanceProfiled(a, pair, method, nil)
+}
+
+func runInstanceProfiled(a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer) RunResult {
 	memProfileMu.Lock()
 	defer memProfileMu.Unlock()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	res := RunInstance(a, pair, method)
+	res := RunInstanceTraced(a, pair, method, tr)
 	runtime.ReadMemStats(&after)
 	res.AllocBytes = after.TotalAlloc - before.TotalAlloc
 	return res

@@ -1,0 +1,41 @@
+package obsv
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartDebugServer serves the standard Go debug endpoints on addr:
+//
+//	/debug/pprof/   profiles (heap, goroutine, CPU via ?seconds=, ...)
+//	/debug/vars     expvar JSON, including reg published as "graphalign"
+//
+// so `go tool pprof http://addr/debug/pprof/profile` can attach to a
+// running sweep. It returns the server (shut it down when done) and the
+// bound address — pass "127.0.0.1:0" to let the kernel pick a free port.
+func StartDebugServer(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	reg.PublishExpvar("graphalign")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		// Serve returns ErrServerClosed on Shutdown/Close; the debug server
+		// is best-effort, so other errors are dropped rather than crashing
+		// the experiment.
+		_ = srv.Serve(ln)
+	}()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,58 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_test_counter").Add(42)
+	srv, addr, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	status, body := get("/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", status)
+	}
+	if !strings.Contains(body, "graphalign") {
+		t.Errorf("/debug/vars missing published registry:\n%s", body)
+	}
+	if !strings.Contains(body, "debug_test_counter") {
+		t.Errorf("/debug/vars missing registry counter:\n%s", body)
+	}
+
+	status, body = get("/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", status)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, _, err := StartDebugServer("256.0.0.1:bogus", NewRegistry()); err == nil {
+		t.Fatal("expected error for unusable address")
+	}
+}

@@ -1,0 +1,192 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2)
+	r.Gauge("g").Add(1)
+	r.Histogram("h", DurationBuckets()).Observe(3)
+	r.PublishExpvar("nil-reg")
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge value = %g", v)
+	}
+	if q := r.Histogram("h", nil).Quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %g", q)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(3)
+	r.Counter("runs").Add(2)
+	if v := r.Counter("runs").Value(); v != 5 {
+		t.Errorf("counter = %d, want 5", v)
+	}
+	g := r.Gauge("occupancy")
+	g.Set(4)
+	g.Add(-1.5)
+	if v := g.Value(); v != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", v)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	// Bucket semantics: value v lands in the first bucket whose bound >= v.
+	for _, v := range []float64{0.5, 1.0} { // -> bucket le=1
+		h.Observe(v)
+	}
+	h.Observe(1.5) // -> bucket le=2
+	h.Observe(4.0) // -> bucket le=4 (inclusive upper bound)
+	h.Observe(9.0) // -> overflow
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantCounts := []uint64{2, 1, 1, 1}
+	if len(s.Buckets) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].LE, 1) {
+		t.Errorf("overflow bucket bound = %g, want +Inf", s.Buckets[3].LE)
+	}
+	if s.Sum != 0.5+1+1.5+4+9 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 20, 30})
+	// 10 observations spread evenly inside the first bucket (0, 10].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	// Median rank 5 of 10 falls halfway through the only occupied bucket:
+	// linear interpolation from lo=0 to hi=10.
+	if q := h.Quantile(0.5); q != 5 {
+		t.Errorf("p50 = %g, want 5", q)
+	}
+	// All mass below 10 means p100 interpolates to the bucket's top.
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("p100 = %g, want 10", q)
+	}
+	// Overflow-only mass reports the last bound.
+	h2 := r.Histogram("q2", []float64{1, 2})
+	h2.Observe(100)
+	if q := h2.Quantile(0.9); q != 2 {
+		t.Errorf("overflow quantile = %g, want last bound 2", q)
+	}
+	// Empty histogram.
+	h3 := r.Histogram("q3", []float64{1})
+	if q := h3.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(DurationBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(seed*i%7) * 0.01)
+			}
+		}(w + 1)
+	}
+	wg.Wait()
+	if n := h.Snapshot().Count; n != 8000 {
+		t.Fatalf("count = %d, want 8000", n)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(7)
+	r.Gauge("pool.active_workers").Set(3)
+	r.Histogram("lap_solve_size", SizeBuckets()).Observe(1000)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := decoded[section]; !ok {
+			t.Errorf("snapshot missing %q section", section)
+		}
+	}
+	if !strings.Contains(buf.String(), `"inf"`) {
+		t.Error("overflow bucket should serialize its bound as \"inf\"")
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.PublishExpvar("obsv-test-reg")
+	r.PublishExpvar("obsv-test-reg") // second call must not panic
+	v := expvar.Get("obsv-test-reg")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	if !strings.Contains(v.String(), `"c":1`) {
+		t.Errorf("expvar value = %s", v.String())
+	}
+}
+
+func TestPoolHooks(t *testing.T) {
+	r := NewRegistry()
+	onStart, onStop := PoolHooks(r)
+	onStart()
+	onStart()
+	if v := r.Gauge("pool.active_workers").Value(); v != 2 {
+		t.Errorf("active = %g, want 2", v)
+	}
+	onStop()
+	onStop()
+	if v := r.Gauge("pool.active_workers").Value(); v != 0 {
+		t.Errorf("active after stop = %g, want 0", v)
+	}
+	if v := r.Counter("pool.workers_started").Value(); v != 2 {
+		t.Errorf("started = %d, want 2", v)
+	}
+}
+
+func TestSizeBucketsShape(t *testing.T) {
+	b := SizeBuckets()
+	if len(b) != 10 || b[0] != 4 || b[9] != math.Pow(4, 10) {
+		t.Fatalf("SizeBuckets = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not ascending: %v", b)
+		}
+	}
+}

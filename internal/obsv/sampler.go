@@ -1,0 +1,108 @@
+package obsv
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The runtime/metrics series the sampler watches. Names missing from the
+// running Go version read back as KindBad and are skipped, so the sampler
+// degrades gracefully across toolchains.
+const (
+	metricHeapBytes  = "/memory/classes/heap/objects:bytes"
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// StartRuntimeSampler launches a goroutine that samples the Go runtime
+// every interval and records the values as gauge events on tr (and gauges
+// in its registry): live heap bytes, goroutine count, completed GC cycles,
+// and the count and median of GC stop-the-world pauses. The returned stop
+// function halts the sampler and waits for it to exit.
+func StartRuntimeSampler(tr *Tracer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			sampleRuntime(tr)
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// sampleRuntime reads one round of runtime metrics into gauge events.
+func sampleRuntime(tr *Tracer) {
+	samples := []metrics.Sample{
+		{Name: metricHeapBytes},
+		{Name: metricGoroutines},
+		{Name: metricGCCycles},
+		{Name: metricGCPauses},
+	}
+	metrics.Read(samples)
+	gauges := map[string]string{
+		metricHeapBytes:  "runtime.heap_bytes",
+		metricGoroutines: "runtime.goroutines",
+		metricGCCycles:   "runtime.gc_cycles",
+	}
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			tr.Gauge(gauges[s.Name], float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			tr.Gauge(gauges[s.Name], s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			if s.Name == metricGCPauses {
+				count, median := histogramSummary(s.Value.Float64Histogram())
+				tr.Gauge("runtime.gc_pauses_total", float64(count))
+				tr.Gauge("runtime.gc_pause_p50_s", median)
+			}
+		}
+	}
+}
+
+// histogramSummary reduces a runtime Float64Histogram to its total count
+// and approximate median (the lower bound of the bucket holding the middle
+// observation).
+func histogramSummary(h *metrics.Float64Histogram) (count uint64, median float64) {
+	if h == nil {
+		return 0, 0
+	}
+	for _, c := range h.Counts {
+		count += c
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	var cum, half uint64
+	half = count / 2
+	for i, c := range h.Counts {
+		cum += c
+		if cum > half {
+			// Bucket i spans [Buckets[i], Buckets[i+1]); report its lower
+			// edge, clamping the -Inf underflow edge to 0.
+			lo := h.Buckets[i]
+			if lo < 0 {
+				lo = 0
+			}
+			return count, lo
+		}
+	}
+	return count, 0
+}

@@ -1,0 +1,52 @@
+package obsv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	sink := &collectSink{}
+	reg := NewRegistry()
+	tr := New(sink).SetRegistry(reg)
+	stop := StartRuntimeSampler(tr, 10*time.Millisecond)
+	// The sampler takes one sample immediately; wait for at least one more.
+	time.Sleep(35 * time.Millisecond)
+	stop()
+
+	gauges := sink.byType("gauge")
+	if len(gauges) == 0 {
+		t.Fatal("sampler emitted no gauge events")
+	}
+	seen := make(map[string]bool)
+	for _, e := range gauges {
+		seen[e.Name] = true
+		v, ok := e.Fields["value"].(float64)
+		if !ok {
+			t.Fatalf("gauge %q has no numeric value: %+v", e.Name, e)
+		}
+		if e.Name == "runtime.goroutines" && v < 1 {
+			t.Errorf("goroutine gauge = %g, want >= 1", v)
+		}
+	}
+	for _, name := range []string{"runtime.heap_bytes", "runtime.goroutines", "runtime.gc_cycles"} {
+		if !seen[name] {
+			t.Errorf("missing gauge %q (saw %v)", name, seen)
+		}
+	}
+	if reg.Gauge("runtime.heap_bytes").Value() <= 0 {
+		t.Error("heap_bytes registry gauge not updated")
+	}
+	// Events must stop after stop() returns.
+	n := len(sink.byType("gauge"))
+	time.Sleep(30 * time.Millisecond)
+	if n2 := len(sink.byType("gauge")); n2 != n {
+		t.Errorf("sampler still emitting after stop: %d -> %d", n, n2)
+	}
+}
+
+func TestNilTracerSampler(t *testing.T) {
+	stop := StartRuntimeSampler(nil, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop() // must not panic or deadlock
+}

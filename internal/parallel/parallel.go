@@ -26,6 +26,40 @@ func Workers(n int) int {
 	return n
 }
 
+// hookSet carries the observability callbacks installed by SetHooks.
+type hookSet struct {
+	onStart, onStop func()
+}
+
+var hooks atomic.Pointer[hookSet]
+
+// SetHooks installs observability callbacks invoked when a pooled worker
+// goroutine starts and stops (obsv.PoolHooks builds a pair tracking pool
+// occupancy). The inline single-worker fast path runs on the caller's
+// goroutine and is not reported. Passing nil, nil removes the hooks. The
+// callbacks must be safe for concurrent use; they observe only, so
+// installing them never changes scheduling or results.
+func SetHooks(onStart, onStop func()) {
+	if onStart == nil && onStop == nil {
+		hooks.Store(nil)
+		return
+	}
+	hooks.Store(&hookSet{onStart: onStart, onStop: onStop})
+}
+
+// workerStart fires the start hook and returns the matching stop callback,
+// pinning one hookSet so a concurrent SetHooks cannot unbalance the pair.
+func workerStart() (stop func()) {
+	h := hooks.Load()
+	if h == nil {
+		return nil
+	}
+	if h.onStart != nil {
+		h.onStart()
+	}
+	return h.onStop
+}
+
 // For runs fn(i) for every i in [0, n) across at most workers goroutines.
 // Iterations are claimed from a shared atomic counter, so long iterations do
 // not stall short ones queued behind them. fn must be safe for concurrent
@@ -53,6 +87,9 @@ func For(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			if stop := workerStart(); stop != nil {
+				defer stop()
+			}
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
@@ -92,6 +129,9 @@ func Blocks(workers, n int, fn func(lo, hi int)) {
 		}
 		go func(lo, hi int) {
 			defer wg.Done()
+			if stop := workerStart(); stop != nil {
+				defer stop()
+			}
 			fn(lo, hi)
 		}(lo, hi)
 		lo = hi

@@ -76,3 +76,52 @@ func TestBlocksPartition(t *testing.T) {
 		}
 	}
 }
+
+func TestHooksBalance(t *testing.T) {
+	var starts, stops atomic.Int64
+	SetHooks(func() { starts.Add(1) }, func() { stops.Add(1) })
+	defer SetHooks(nil, nil)
+
+	For(4, 100, func(int) {})
+	Blocks(4, 100, func(lo, hi int) {})
+	if s, e := starts.Load(), stops.Load(); s == 0 || s != e {
+		t.Errorf("hooks unbalanced: %d starts, %d stops", s, e)
+	}
+
+	// The inline single-worker path must not report workers.
+	before := starts.Load()
+	For(1, 10, func(int) {})
+	Blocks(1, 10, func(lo, hi int) {})
+	if starts.Load() != before {
+		t.Error("inline path fired worker hooks")
+	}
+
+	// Removing the hooks silences reporting.
+	SetHooks(nil, nil)
+	before = starts.Load()
+	For(4, 50, func(int) {})
+	if starts.Load() != before {
+		t.Error("hooks fired after removal")
+	}
+}
+
+func TestHooksConcurrentSetRemove(t *testing.T) {
+	var starts, stops atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			SetHooks(func() { starts.Add(1) }, func() { stops.Add(1) })
+			SetHooks(nil, nil)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		For(4, 20, func(int) {})
+	}
+	<-done
+	SetHooks(nil, nil)
+	if starts.Load() != stops.Load() {
+		t.Errorf("racing SetHooks unbalanced the pair: %d starts, %d stops",
+			starts.Load(), stops.Load())
+	}
+}
