@@ -18,6 +18,18 @@
 // the default 0.2 keeps every experiment tractable while preserving the
 // comparative shape of the results.
 //
+// Fault tolerance (all off by default):
+//
+//	-run-timeout 30s       cancel any single run over budget; the cell is
+//	                       marked failed, the rest of the grid completes
+//	-checkpoint run.ckpt   journal each completed (cell, rep) run as JSONL
+//	-resume                skip runs already journaled in -checkpoint
+//
+// Ctrl-C cancels cooperatively: in-flight runs stop at their next iteration
+// boundary, the journal stays valid, and rerunning with -resume continues
+// where the interrupted invocation left off, reproducing byte-identical
+// output.
+//
 // Observability (all off by default; none of these affect the results):
 //
 //	-trace-out run.jsonl   stream structured span/metric events as JSONL
@@ -27,13 +39,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"graphalign"
@@ -66,6 +82,9 @@ func runCLI() error {
 		budget     = flag.Duration("budget", 2*time.Minute, "per-run budget for scalability sweeps")
 		format     = flag.String("format", "text", "output format: text or csv")
 		workers    = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget per algorithm run (0 = off); over-budget runs are marked failed, the rest of the grid completes")
+		ckptPath   = flag.String("checkpoint", "", "journal completed runs to this JSONL file")
+		resume     = flag.Bool("resume", false, "skip runs already journaled in -checkpoint")
 		traceOut   = flag.String("trace-out", "", "write span/metric events as JSONL to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -92,6 +111,26 @@ func runCLI() error {
 		for i := range opts.Algorithms {
 			opts.Algorithms[i] = strings.TrimSpace(opts.Algorithms[i])
 		}
+	}
+	opts.RunTimeout = *runTimeout
+
+	// Ctrl-C (or SIGTERM) cancels cooperatively: workers stop claiming new
+	// runs, in-flight runs return at their next iteration boundary, and the
+	// checkpoint journal stays valid for -resume.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts.Ctx = ctx
+
+	if *resume && *ckptPath == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
+	if *ckptPath != "" {
+		ck, err := core.OpenCheckpoint(*ckptPath, opts, *resume)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		opts.Checkpoint = ck
 	}
 
 	// Observability wiring. With every flag off, tracer stays nil and the
@@ -208,12 +247,24 @@ func runCLI() error {
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	tracer.EmitMetrics()
 	if traceSink != nil {
 		if err := traceSink.Err(); err != nil {
 			return fmt.Errorf("trace-out: %w", err)
 		}
+	}
+	if err := opts.Checkpoint.Err(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if ctx.Err() != nil {
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "alignbench: interrupted; rerun with -checkpoint %s -resume to continue\n", *ckptPath)
+		}
+		return errors.New("interrupted")
 	}
 	return nil
 }

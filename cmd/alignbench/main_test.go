@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMain re-executes the test binary as the real CLI when RUN_ALIGNBENCH
@@ -195,5 +196,125 @@ func TestCPUProfileFlag(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Error("CPU profile file is empty")
+	}
+}
+
+// TestRunTimeoutFlagDegradesGracefully pins the tentpole's CLI contract: an
+// impossibly small per-run budget times out every run, yet the process
+// finishes cleanly with an (empty) table instead of hanging or crashing.
+func TestRunTimeoutFlagDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	out, err := run(t, "-exp", "fig10", "-scale", "0.05", "-reps", "1",
+		"-algos", "NSD", "-run-timeout", "1ns", "-format", "csv", "-out", path)
+	if err != nil {
+		t.Fatalf("timed-out grid should still exit cleanly: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n")[1:] {
+		if strings.Contains(line, "NSD") {
+			t.Errorf("run under a 1ns budget still produced a row: %q", line)
+		}
+	}
+}
+
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	if out, err := run(t, "-exp", "table1", "-resume"); err == nil {
+		t.Errorf("-resume without -checkpoint accepted:\n%s", out)
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the kill-and-resume acceptance test:
+// a checkpointed run interrupted mid-grid and resumed must render exactly
+// the same bytes as an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	// fig10's columns (accuracy, mnc, s3) are all seed-determined, so the
+	// whole file must match byte-for-byte.
+	argsFor := func(outPath string, extra ...string) []string {
+		base := []string{"-exp", "fig10", "-scale", "0.05", "-reps", "1",
+			"-algos", "NSD,IsoRank", "-format", "csv", "-out", outPath}
+		return append(base, extra...)
+	}
+	refPath := filepath.Join(dir, "ref.csv")
+	if out, err := run(t, argsFor(refPath)...); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Start a checkpointed run and interrupt it once the journal holds some
+	// completed work (if the run wins the race and finishes first, resume
+	// degenerates to a full replay — still a valid check).
+	ckpt := filepath.Join(dir, "run.ckpt")
+	killedOut := filepath.Join(dir, "killed.csv")
+	cmd := exec.Command(os.Args[0], argsFor(killedOut, "-checkpoint", ckpt)...)
+	cmd.Env = append(os.Environ(), "RUN_ALIGNBENCH=1")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if data, err := os.ReadFile(ckpt); err == nil && strings.Count(string(data), "\n") >= 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd.Process.Signal(os.Interrupt)
+	cmd.Wait() // exit status depends on whether the interrupt won the race
+
+	resumedPath := filepath.Join(dir, "resumed.csv")
+	if out, err := run(t, argsFor(resumedPath, "-checkpoint", ckpt, "-resume")...); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out)
+	}
+	resumed, err := os.ReadFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumed) != string(ref) {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- reference ---\n%s\n--- resumed ---\n%s", ref, resumed)
+	}
+
+	// A second resume over the now-complete journal is a pure replay and
+	// must also be byte-identical.
+	replayPath := filepath.Join(dir, "replay.csv")
+	if out, err := run(t, argsFor(replayPath, "-checkpoint", ckpt, "-resume")...); err != nil {
+		t.Fatalf("replay run: %v\n%s", err, out)
+	}
+	replay, err := os.ReadFile(replayPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(replay) != string(ref) {
+		t.Errorf("journal replay differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointHeaderGuardsOptions asserts resuming under different options
+// is refused rather than silently mixing incompatible results.
+func TestCheckpointHeaderGuardsOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	if out, err := run(t, "-exp", "fig10", "-scale", "0.05", "-reps", "1",
+		"-algos", "NSD", "-checkpoint", ckpt, "-out", filepath.Join(dir, "a.txt")); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out, err := run(t, "-exp", "fig10", "-scale", "0.05", "-reps", "1",
+		"-algos", "NSD", "-seed", "43", "-checkpoint", ckpt, "-resume",
+		"-out", filepath.Join(dir, "b.txt")); err == nil {
+		t.Errorf("resume with a different seed accepted:\n%s", out)
 	}
 }

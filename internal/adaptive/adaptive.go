@@ -19,6 +19,7 @@
 package adaptive
 
 import (
+	"context"
 	"math"
 
 	"graphalign/internal/algo"
@@ -146,9 +147,15 @@ func (a *Adaptive) Select(p Profile) algo.Aligner {
 
 // Similarity implements algo.Aligner by profiling and dispatching.
 func (a *Adaptive) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return a.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner: the context reaches whichever
+// algorithm the profile dispatches to.
+func (a *Adaptive) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	inner := a.Select(Profiles(src, dst))
 	a.chosen = inner.Name()
-	return inner.Similarity(src, dst)
+	return algo.Similarity(ctx, inner, src, dst)
 }
 
 func maxInt(a, b int) int {

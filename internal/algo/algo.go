@@ -10,6 +10,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,30 @@ type Aligner interface {
 	DefaultAssignment() assign.Method
 }
 
+// ContextAligner is optionally implemented by aligners whose similarity
+// computation observes cooperative cancellation. SimilarityCtx must behave
+// exactly like Similarity when ctx is never cancelled (same results from the
+// same inputs), and return ctx.Err() — possibly wrapped — promptly once ctx
+// is done. All ten built-in algorithms implement it; the Similarity helper
+// dispatches through it when available.
+type ContextAligner interface {
+	SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error)
+}
+
+// Similarity computes a's similarity matrix under ctx: aligners that
+// implement ContextAligner get the context threaded into their iteration
+// loops; plain aligners run to completion and the context is checked before
+// the call. With context.Background() this is exactly a.Similarity(src, dst).
+func Similarity(ctx context.Context, a Aligner, src, dst *graph.Graph) (*matrix.Dense, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ca, ok := a.(ContextAligner); ok {
+		return ca.SimilarityCtx(ctx, src, dst)
+	}
+	return a.Similarity(src, dst)
+}
+
 // Instrumented is optionally implemented by aligners that can report the
 // inner phases of Similarity (eigendecompositions, optimal-transport
 // recursions, power-iteration convergence) through an observability span.
@@ -50,17 +75,35 @@ func Align(a Aligner, src, dst *graph.Graph, method assign.Method) ([]int, error
 	return mapping, err
 }
 
+// AlignCtx is Align under a context: cancellation or deadline expiry aborts
+// the similarity iteration cooperatively and surfaces the context error.
+func AlignCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method assign.Method) ([]int, error) {
+	mapping, _, _, err := AlignTimedCtx(ctx, a, src, dst, method)
+	return mapping, err
+}
+
 // AlignTimed is Align reporting how the runtime splits between the
 // similarity computation and the assignment step — the distinction the
 // paper's runtime figures are built on (they exclude assignment).
 func AlignTimed(a Aligner, src, dst *graph.Graph, method assign.Method) (mapping []int, simTime, assignTime time.Duration, err error) {
+	return AlignTimedCtx(context.Background(), a, src, dst, method)
+}
+
+// AlignTimedCtx is AlignTimed under a context. The context is threaded into
+// ContextAligner similarity loops and checked between pipeline stages; the
+// assignment solvers themselves run to completion (they are polynomial in
+// the already-computed similarity matrix, never the hanging stage).
+func AlignTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method assign.Method) (mapping []int, simTime, assignTime time.Duration, err error) {
 	if src.N() > dst.N() {
 		return nil, 0, 0, fmt.Errorf("algo: source graph larger than target (%d > %d)", src.N(), dst.N())
 	}
 	t0 := time.Now()
-	sim, err := a.Similarity(src, dst)
+	sim, err := Similarity(ctx, a, src, dst)
 	simTime = time.Since(t0)
 	if err != nil {
+		return nil, simTime, 0, fmt.Errorf("algo: %s similarity: %w", a.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, simTime, 0, fmt.Errorf("algo: %s similarity: %w", a.Name(), err)
 	}
 	t1 := time.Now()

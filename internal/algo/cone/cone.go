@@ -10,6 +10,7 @@
 package cone
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -53,6 +54,12 @@ func (c *CONE) DefaultAssignment() assign.Method { return assign.NearestNeighbor
 
 // Embed computes the NetMF-style proximity embedding of one graph.
 func (c *CONE) Embed(g *graph.Graph) (*matrix.Dense, error) {
+	return c.EmbedCtx(context.Background(), g)
+}
+
+// EmbedCtx is Embed with cooperative cancellation checked per random-walk
+// window power and threaded into the factorization.
+func (c *CONE) EmbedCtx(ctx context.Context, g *graph.Graph) (*matrix.Dense, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, errors.New("cone: empty graph")
@@ -76,6 +83,9 @@ func (c *CONE) Embed(g *graph.Graph) (*matrix.Dense, error) {
 	acc := matrix.NewDense(n, n)
 	cur := p.ToDense()
 	for r := 1; r <= window; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		acc.AddScaled(cur, 1)
 		if r < window {
 			cur = mulCSRDense(p, cur)
@@ -99,7 +109,7 @@ func (c *CONE) Embed(g *graph.Graph) (*matrix.Dense, error) {
 	}
 	// The NetMF matrix is symmetric, so its SVD comes cheaply from the
 	// symmetric eigendecomposition.
-	u, s, _, err := linalg.TopKSVDSym(acc, dim)
+	u, s, _, err := linalg.TopKSVDSymCtx(ctx, acc, dim)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +134,14 @@ func (c *CONE) Embed(g *graph.Graph) (*matrix.Dense, error) {
 // both serve only to break the orthogonal ambiguity between the two
 // independently computed embeddings).
 func (c *CONE) AlignEmbeddings(ySrc, yDst, warmStart *matrix.Dense) (*matrix.Dense, *matrix.Dense) {
+	rot, yd, _ := c.AlignEmbeddingsCtx(context.Background(), ySrc, yDst, warmStart)
+	return rot, yd
+}
+
+// AlignEmbeddingsCtx is AlignEmbeddings with cooperative cancellation
+// checked once per Wasserstein/Procrustes alternation and threaded into the
+// Sinkhorn rounds.
+func (c *CONE) AlignEmbeddingsCtx(ctx context.Context, ySrc, yDst, warmStart *matrix.Dense) (*matrix.Dense, *matrix.Dense, error) {
 	n1, n2 := ySrc.Rows, yDst.Rows
 	mu := ot.UniformWeights(n1)
 	nu := ot.UniformWeights(n2)
@@ -139,6 +157,9 @@ func (c *CONE) AlignEmbeddings(ySrc, yDst, warmStart *matrix.Dense) (*matrix.Den
 		rotated = matrix.Mul(ySrc, q)
 	}
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// Wasserstein step: transport between rotated source and target.
 		cost := matrix.NewDense(n1, n2)
 		for i := 0; i < n1; i++ {
@@ -154,14 +175,17 @@ func (c *CONE) AlignEmbeddings(ySrc, yDst, warmStart *matrix.Dense) (*matrix.Den
 				row[j] = d2
 			}
 		}
-		plan := ot.Sinkhorn(cost, mu, nu, c.SinkhornEps, c.SinkhornIters)
+		plan, err := ot.SinkhornCtx(ctx, cost, mu, nu, c.SinkhornEps, c.SinkhornIters)
+		if err != nil {
+			return nil, nil, err
+		}
 		// Procrustes step: Q = argmin ||Ysrc Q - P Ydst|| = U Vᵀ from the
 		// SVD of Ysrcᵀ (n1 P Ydst).
 		target := matrix.Mul(plan, yDst).Scale(float64(n1)) // n1 x d
 		q := linalg.PolarOrthogonal(matrix.Mul(ySrc.T(), target))
 		rotated = matrix.Mul(ySrc, q)
 	}
-	return rotated, yDst
+	return rotated, yDst, nil
 }
 
 // alignmentDim returns the number of leading embedding columns used for
@@ -195,11 +219,18 @@ func alignmentDim(n int) int {
 // anchor suffices — its correct mass dominates the rotation estimate while
 // its errors average out.
 func (c *CONE) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
-	ySrc, err := c.Embed(src)
+	return c.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx reaches the embedding
+// factorizations, the warm-start similarities, and every pilot and full
+// alternation round.
+func (c *CONE) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	ySrc, err := c.EmbedCtx(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	yDst, err := c.Embed(dst)
+	yDst, err := c.EmbedCtx(ctx, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +249,7 @@ func (c *CONE) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 		yDst = leadingCols(yDst, d)
 	}
 
-	warms, err := c.warmStarts(src, dst)
+	warms, err := c.warmStarts(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -228,27 +259,33 @@ func (c *CONE) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 		pilot := *c
 		pilot.Iters = 4
 		for _, w := range warms {
-			rot, yd := pilot.AlignEmbeddings(ySrc, yDst, w)
+			rot, yd, err := pilot.AlignEmbeddingsCtx(ctx, ySrc, yDst, w)
+			if err != nil {
+				return nil, err
+			}
 			if obj := meanNNDistance(rot, yd); obj < bestObj {
 				bestObj = obj
 				best = w
 			}
 		}
 	}
-	rot, yd := c.AlignEmbeddings(ySrc, yDst, best)
+	rot, yd, err := c.AlignEmbeddingsCtx(ctx, ySrc, yDst, best)
+	if err != nil {
+		return nil, err
+	}
 	return regal.EmbeddingSimilarity(rot, yd), nil
 }
 
 // warmStarts builds the candidate anchor plans: hard JV matchings of the
 // NSD and REGAL similarities, as transport-plan-shaped matrices.
-func (c *CONE) warmStarts(src, dst *graph.Graph) ([]*matrix.Dense, error) {
+func (c *CONE) warmStarts(ctx context.Context, src, dst *graph.Graph) ([]*matrix.Dense, error) {
 	var out []*matrix.Dense
-	nsdSim, err := nsd.New().Similarity(src, dst)
+	nsdSim, err := nsd.New().SimilarityCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, permutationPlan(assign.SolveJV(nsdSim), dst.N()))
-	regalSim, err := regal.New().Similarity(src, dst)
+	regalSim, err := regal.New().SimilarityCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}

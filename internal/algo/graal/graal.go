@@ -16,6 +16,7 @@
 package graal
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -68,10 +69,19 @@ func SignatureSimilarity(cu, cv []float64, weights [graphlets.NumOrbits]float64)
 
 // CostMatrix returns the GRAAL cost matrix of Equation 2 (lower = better).
 func (g *GRAAL) CostMatrix(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return g.CostMatrixCtx(context.Background(), src, dst)
+}
+
+// CostMatrixCtx is CostMatrix with cooperative cancellation checked between
+// the graphlet counting stages and once per cost-matrix row.
+func (g *GRAAL) CostMatrixCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	if src.N() == 0 || dst.N() == 0 {
 		return nil, errors.New("graal: empty graph")
 	}
 	cSrc := graphlets.Count(src)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cDst := graphlets.Count(dst)
 	weights := graphlets.OrbitWeights()
 	maxSum := float64(src.MaxDegree() + dst.MaxDegree())
@@ -82,6 +92,9 @@ func (g *GRAAL) CostMatrix(src, dst *graph.Graph) (*matrix.Dense, error) {
 	n, m := src.N(), dst.N()
 	cost := matrix.NewDense(n, m)
 	for u := 0; u < n; u++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		du := float64(src.Degree(u))
 		row := cost.Row(u)
 		for v := 0; v < m; v++ {
@@ -96,7 +109,12 @@ func (g *GRAAL) CostMatrix(src, dst *graph.Graph) (*matrix.Dense, error) {
 // Similarity implements algo.Aligner: 2 - cost, so that greedily matching
 // the highest similarity equals picking the cheapest pair.
 func (g *GRAAL) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
-	cost, err := g.CostMatrix(src, dst)
+	return g.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner.
+func (g *GRAAL) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	cost, err := g.CostMatrixCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@
 package grasp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -64,6 +65,13 @@ func (g *GRASP) DefaultAssignment() assign.Method { return assign.JonkerVolgenan
 // Similarity implements algo.Aligner. Higher similarity = smaller distance
 // between aligned spectral feature rows.
 func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return g.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx is threaded through the
+// Lanczos/dense eigendecompositions and the base-alignment SVD, and checked
+// per heat-kernel time step and per feature-distance row.
+func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	n1, n2 := src.N(), dst.N()
 	if n1 == 0 || n2 == 0 {
 		return nil, errors.New("grasp: empty graph")
@@ -82,12 +90,12 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 
 	sp := g.span.Phase("eigendecomposition")
 	sp.Set("k", k)
-	valsA, phiA, err := laplacianEigs(src, k, rng)
+	valsA, phiA, err := laplacianEigs(ctx, src, k, rng)
 	if err != nil {
 		sp.End()
 		return nil, err
 	}
-	valsB, phiB, err := laplacianEigs(dst, k, rng)
+	valsB, phiB, err := laplacianEigs(ctx, dst, k, rng)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -98,9 +106,16 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	ts := logspace(g.TMin, g.TMax, g.Q)
 	// Corresponding functions: F[i][t] = Σ_j exp(-t λ_j) φ_j(i)² (diagonal
 	// of the heat kernel), one column per time step.
-	fA := heatDiagonals(valsA, phiA, ts) // n1 x q
-	fB := heatDiagonals(valsB, phiB, ts) // n2 x q
+	fA, err := heatDiagonals(ctx, valsA, phiA, ts) // n1 x q
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	fB, err := heatDiagonals(ctx, valsB, phiB, ts) // n2 x q
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 
 	// Base alignment (Equation 14): find the orthogonal M aligning the two
 	// eigenbases through their corresponding-function projections. With
@@ -115,7 +130,11 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	a := project(phiA, fA)     // k x q  (Φᵀ F)
 	b := project(phiB, fB)     // k x q  (Ψᵀ G)
 	abt := matrix.MulABT(a, b) // k x k = a bᵀ
-	u, sv, v := linalg.SVDAny(abt)
+	u, sv, v, err := linalg.SVDAnyCtx(ctx, abt)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	sp.End()
 	// The SVD pairs canonical directions of the two eigenbases: column j of
 	// Φ U corresponds to column j of Ψ V with correlation strength sv[j]
@@ -151,6 +170,10 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	sp = g.span.Phase("feature_distance")
 	sim := matrix.NewDense(n1, n2)
 	for i := 0; i < n1; i++ {
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			return nil, err
+		}
 		ri := featSrc.Row(i)
 		row := sim.Row(i)
 		for j := 0; j < n2; j++ {
@@ -170,11 +193,11 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 // laplacianEigs returns the k smallest eigenpairs of the normalized
 // Laplacian of g. Small graphs use the dense solver for robustness; larger
 // ones use Lanczos.
-func laplacianEigs(g *graph.Graph, k int, rng *rand.Rand) ([]float64, *matrix.Dense, error) {
+func laplacianEigs(ctx context.Context, g *graph.Graph, k int, rng *rand.Rand) ([]float64, *matrix.Dense, error) {
 	lap := graph.NormalizedLaplacian(g)
 	n := g.N()
 	if n <= 400 {
-		vals, vecs, err := linalg.SymEigen(lap.ToDense())
+		vals, vecs, err := linalg.SymEigenCtx(ctx, lap.ToDense())
 		if err != nil {
 			return nil, nil, err
 		}
@@ -189,11 +212,11 @@ func laplacianEigs(g *graph.Graph, k int, rng *rand.Rand) ([]float64, *matrix.De
 		return outV, outM, nil
 	}
 	iters := 12*k + 100
-	return linalgLanczos(lap, k, iters, rng)
+	return linalgLanczos(ctx, lap, k, iters, rng)
 }
 
-func linalgLanczos(lap *matrix.CSR, k, iters int, rng *rand.Rand) ([]float64, *matrix.Dense, error) {
-	vals, vecs, err := linalg.LanczosSmallest(linalg.CSROp(lap), k, iters, rng)
+func linalgLanczos(ctx context.Context, lap *matrix.CSR, k, iters int, rng *rand.Rand) ([]float64, *matrix.Dense, error) {
+	vals, vecs, err := linalg.LanczosSmallestCtx(ctx, linalg.CSROp(lap), k, iters, rng)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -201,12 +224,16 @@ func linalgLanczos(lap *matrix.CSR, k, iters int, rng *rand.Rand) ([]float64, *m
 }
 
 // heatDiagonals returns the n x q matrix whose column t is the diagonal of
-// the heat kernel at time ts[t], computed from the truncated spectrum.
-func heatDiagonals(vals []float64, phi *matrix.Dense, ts []float64) *matrix.Dense {
+// the heat kernel at time ts[t], computed from the truncated spectrum; ctx
+// is checked once per time step.
+func heatDiagonals(ctx context.Context, vals []float64, phi *matrix.Dense, ts []float64) (*matrix.Dense, error) {
 	n := phi.Rows
 	k := phi.Cols
 	out := matrix.NewDense(n, len(ts))
 	for ti, t := range ts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := 0; j < k; j++ {
 			e := math.Exp(-t * vals[j])
 			for i := 0; i < n; i++ {
@@ -215,7 +242,7 @@ func heatDiagonals(vals []float64, phi *matrix.Dense, ts []float64) *matrix.Dens
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // project returns φᵀ F (k x q).

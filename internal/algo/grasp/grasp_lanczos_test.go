@@ -1,6 +1,7 @@
 package grasp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func TestLanczosPathMatchesDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := gen.PowerlawCluster(450, 3, 0.3, rng)
 	k := 8
-	lv, lvec, err := laplacianEigs(g, k, rand.New(rand.NewSource(1)))
+	lv, lvec, err := laplacianEigs(context.Background(), g, k, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}

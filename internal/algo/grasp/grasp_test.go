@@ -1,6 +1,7 @@
 package grasp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -57,12 +58,15 @@ func TestHeatDiagonalsProperties(t *testing.T) {
 	// sum_j exp(-t lambda_j); each diagonal entry positive.
 	g := graph.MustNew(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
 	// Use the dense eigensolver directly through the package helper.
-	vals, phi, err := laplacianEigs(g, 4, nil)
+	vals, phi, err := laplacianEigs(context.Background(), g, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := []float64{0.5, 2}
-	h := heatDiagonals(vals, phi, ts)
+	h, err := heatDiagonals(context.Background(), vals, phi, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for ti, tv := range ts {
 		var trace, want float64
 		for i := 0; i < 4; i++ {

@@ -13,6 +13,7 @@
 package gwl
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -77,6 +78,12 @@ func CostMatrix(g *graph.Graph) *matrix.Dense {
 // Similarity implements algo.Aligner: the returned matrix is the learned
 // transport plan (mass T[i][j] is the evidence that i corresponds to j).
 func (g *GWL) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return g.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx is checked per epoch and
+// threaded into every proximal/Sinkhorn round of the transport solver.
+func (g *GWL) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	n1, n2 := src.N(), dst.N()
 	if n1 == 0 || n2 == 0 {
 		return nil, errors.New("gwl: empty graph")
@@ -98,11 +105,18 @@ func (g *GWL) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	opts := ot.GWOptions{Beta: g.Beta, OuterIters: g.OuterIters, SinkhornIters: g.SinkhornIters}
 	var plan *matrix.Dense
 	for e := 0; e < epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Blend structural cost with embedding-derived cost (Wasserstein
 		// term of Equation 11).
 		ca := blendCost(cSrc, xs, g.Alpha)
 		cb := blendCost(cDst, xt, g.Alpha)
-		plan = ot.GromovWasserstein(ca, cb, mu, nu, opts)
+		var err error
+		plan, err = ot.GromovWassersteinCtx(ctx, ca, cb, mu, nu, opts)
+		if err != nil {
+			return nil, err
+		}
 		if e == epochs-1 {
 			break
 		}

@@ -14,6 +14,7 @@
 package isorank
 
 import (
+	"context"
 	"errors"
 
 	"graphalign/internal/algo"
@@ -60,6 +61,12 @@ func (ir *IsoRank) DefaultAssignment() assign.Method { return assign.SortGreedy 
 
 // Similarity implements algo.Aligner.
 func (ir *IsoRank) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return ir.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx is checked once per
+// power iteration.
+func (ir *IsoRank) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	n, m := src.N(), dst.N()
 	if n == 0 || m == 0 {
 		return nil, errors.New("isorank: empty graph")
@@ -94,6 +101,10 @@ func (ir *IsoRank) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	performed := 0
 	tmp := matrix.NewDense(n, m)
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			return nil, err
+		}
 		performed = it + 1
 		// tmp = D_src^-1 R, then right-multiply by (D_dst^-1 A_dst)ᵀ, then
 		// left-multiply by A_src. Using CSR ops:

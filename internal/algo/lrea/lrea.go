@@ -18,6 +18,7 @@
 package lrea
 
 import (
+	"context"
 	"errors"
 
 	"graphalign/internal/assign"
@@ -62,6 +63,12 @@ type factored struct {
 
 // Similarity implements algo.Aligner.
 func (l *LREA) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return l.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx is checked once per
+// factored power iteration.
+func (l *LREA) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	n, m := src.N(), dst.N()
 	if n == 0 || m == 0 {
 		return nil, errors.New("lrea: empty graph")
@@ -108,6 +115,9 @@ func (l *LREA) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	oneDst := ones(m)
 
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r := len(x.us)
 		nus := make([][]float64, 0, r+3)
 		nvs := make([][]float64, 0, r+3)

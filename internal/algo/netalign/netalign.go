@@ -20,6 +20,7 @@
 package netalign
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -63,6 +64,12 @@ type candidate struct {
 
 // Similarity implements algo.Aligner.
 func (na *NetAlign) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return na.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx is checked per candidate
+// row during set construction and once per reinforcement sweep.
+func (na *NetAlign) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	n, m := src.N(), dst.N()
 	if n == 0 || m == 0 {
 		return nil, errors.New("netalign: empty graph")
@@ -81,6 +88,9 @@ func (na *NetAlign) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	index := make(map[[2]int]int, n*k) // (i, j) -> candidate id
 	colIdx := make([]int, m)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := prior.Row(i)
 		for j := range colIdx {
 			colIdx[j] = j
@@ -111,6 +121,9 @@ func (na *NetAlign) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	rowMass := make([]float64, n)
 	colMass := make([]float64, m)
 	for it := 0; it < na.Iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := range rowMass {
 			rowMass[i] = 0
 		}

@@ -7,6 +7,7 @@
 package nsd
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -49,6 +50,12 @@ func (n *NSD) DefaultAssignment() assign.Method { return assign.SortGreedy }
 //
 // with w_i^(k) = (D_dst^-1 A_dst)^k w_i and z_i^(k) = (D_src^-1 A_src)^k z_i.
 func (n *NSD) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return n.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx is threaded into the
+// prior's truncated SVD and checked once per power-series term.
+func (n *NSD) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	ns, nd := src.N(), dst.N()
 	if ns == 0 || nd == 0 {
 		return nil, errors.New("nsd: empty graph")
@@ -69,7 +76,10 @@ func (n *NSD) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	// randomized truncated SVD recovers the leading triplets at O(n^2 s)
 	// cost (the full Jacobi SVD would dominate NSD's runtime).
 	rng := rand.New(rand.NewSource(1))
-	u, sv, v := linalg.TruncatedSVD(prior, comps, 3, rng)
+	u, sv, v, err := linalg.TruncatedSVDCtx(ctx, prior, comps, 3, rng)
+	if err != nil {
+		return nil, err
+	}
 	if len(sv) == 0 {
 		return nil, errors.New("nsd: degenerate prior")
 	}
@@ -92,6 +102,9 @@ func (n *NSD) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 		coef := 1 - alpha
 		ak := 1.0
 		for k := 0; k <= iters; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			weight := coef * ak
 			if k == iters {
 				weight = ak // the closing alpha^n term

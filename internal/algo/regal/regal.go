@@ -10,6 +10,7 @@
 package regal
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -52,6 +53,12 @@ func (r *REGAL) DefaultAssignment() assign.Method { return assign.NearestNeighbo
 // Embed computes xNetMF embeddings for both graphs jointly and returns the
 // two embedding matrices (rows are nodes).
 func (r *REGAL) Embed(src, dst *graph.Graph) (ySrc, yDst *matrix.Dense, err error) {
+	return r.EmbedCtx(context.Background(), src, dst)
+}
+
+// EmbedCtx is Embed with cooperative cancellation checked between the
+// signature, kernel, and factorization stages and threaded into the SVDs.
+func (r *REGAL) EmbedCtx(ctx context.Context, src, dst *graph.Graph) (ySrc, yDst *matrix.Dense, err error) {
 	n1, n2 := src.N(), dst.N()
 	if n1 == 0 || n2 == 0 {
 		return nil, nil, errors.New("regal: empty graph")
@@ -110,6 +117,9 @@ func (r *REGAL) Embed(src, dst *graph.Graph) (ySrc, yDst *matrix.Dense, err erro
 		return math.Exp(-r.GammaStruc * d2)
 	}
 	for i := 0; i < total; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		row := c.Row(i)
 		for j, l := range landmarks {
 			row[j] = simTo(i, l)
@@ -122,8 +132,14 @@ func (r *REGAL) Embed(src, dst *graph.Graph) (ySrc, yDst *matrix.Dense, err erro
 		}
 	}
 	// Nyström: S ~ C W† Cᵀ; embeddings Y = C U Σ^-1/2 from the SVD of W†.
-	wPinv := linalg.PseudoInverse(w, 1e-10)
-	u, s, _ := linalg.SVDAny(wPinv)
+	wPinv, err := linalg.PseudoInverseCtx(ctx, w, 1e-10)
+	if err != nil {
+		return nil, nil, err
+	}
+	u, s, _, err := linalg.SVDAnyCtx(ctx, wPinv)
+	if err != nil {
+		return nil, nil, err
+	}
 	// Scale columns by sqrt of singular values.
 	scaled := matrix.NewDense(p, len(s))
 	for j, sv := range s {
@@ -146,7 +162,12 @@ func (r *REGAL) Embed(src, dst *graph.Graph) (ySrc, yDst *matrix.Dense, err erro
 
 // Similarity implements algo.Aligner: sim(u, v) = exp(-||y_u - y_v||²).
 func (r *REGAL) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
-	ySrc, yDst, err := r.Embed(src, dst)
+	return r.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner.
+func (r *REGAL) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	ySrc, yDst, err := r.EmbedCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@
 package sgwl
 
 import (
+	"context"
 	"errors"
 
 	"graphalign/internal/algo/gwl"
@@ -64,6 +65,12 @@ func (s *SGWL) DefaultAssignment() assign.Method { return assign.NearestNeighbor
 // Similarity implements algo.Aligner: a sparse-ish dense matrix whose mass
 // concentrates on the recursively matched blocks.
 func (s *SGWL) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
+	return s.SimilarityCtx(context.Background(), src, dst)
+}
+
+// SimilarityCtx implements algo.ContextAligner; ctx is checked at every
+// recursion step and threaded into each partition/leaf transport solve.
+func (s *SGWL) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	n1, n2 := src.N(), dst.N()
 	if n1 == 0 || n2 == 0 {
 		return nil, errors.New("sgwl: empty graph")
@@ -71,7 +78,9 @@ func (s *SGWL) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	sim := matrix.NewDense(n1, n2)
 	srcNodes := all(n1)
 	dstNodes := all(n2)
-	s.recurse(src, dst, srcNodes, dstNodes, sim, 0)
+	if err := s.recurse(ctx, src, dst, srcNodes, dstNodes, sim, 0); err != nil {
+		return nil, err
+	}
 	return sim, nil
 }
 
@@ -79,17 +88,19 @@ const maxDepth = 10
 
 // recurse aligns the induced subproblems on srcNodes x dstNodes, writing
 // transport mass into sim at original coordinates.
-func (s *SGWL) recurse(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *matrix.Dense, depth int) {
+func (s *SGWL) recurse(ctx context.Context, src, dst *graph.Graph, srcNodes, dstNodes []int, sim *matrix.Dense, depth int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(srcNodes) == 0 || len(dstNodes) == 0 {
-		return
+		return nil
 	}
 	leaf := s.LeafSize
 	if leaf < 8 {
 		leaf = 8
 	}
 	if len(srcNodes) <= leaf || len(dstNodes) <= leaf || depth >= maxDepth {
-		s.solveLeaf(src, dst, srcNodes, dstNodes, sim)
-		return
+		return s.solveLeaf(ctx, src, dst, srcNodes, dstNodes, sim)
 	}
 	k := s.Partitions
 	if k < 2 {
@@ -107,12 +118,15 @@ func (s *SGWL) recurse(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *mat
 	sp.Set("n_dst", len(dstNodes))
 	sp.Set("ot_outer_iters", s.OuterIters)
 	sp.Set("ot_sinkhorn_iters", s.SinkhornIters)
-	labS, labD, ok := s.coPartition(subSrc, subDst, k)
+	labS, labD, ok, err := s.coPartition(ctx, subSrc, subDst, k)
+	if err != nil {
+		sp.End()
+		return err
+	}
 	sp.Set("ok", ok)
 	sp.End()
 	if !ok {
-		s.solveLeaf(src, dst, srcNodes, dstNodes, sim)
-		return
+		return s.solveLeaf(ctx, src, dst, srcNodes, dstNodes, sim)
 	}
 	for c := 0; c < k; c++ {
 		var sn, dn []int
@@ -129,8 +143,11 @@ func (s *SGWL) recurse(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *mat
 		if len(sn) == 0 || len(dn) == 0 {
 			continue
 		}
-		s.recurse(src, dst, sn, dn, sim, depth+1)
+		if err := s.recurse(ctx, src, dst, sn, dn, sim, depth+1); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func memberOf(labels []int, c int) bool {
@@ -149,7 +166,7 @@ func memberOf(labels []int, c int) bool {
 // of being forced to one side — the recursion is where cluster mistakes
 // become unrecoverable. It reports ok=false when the partition degenerates,
 // in which case the caller falls back to a direct solve.
-func (s *SGWL) coPartition(ga, gb *graph.Graph, k int) (labA, labB [][]int, ok bool) {
+func (s *SGWL) coPartition(ctx context.Context, ga, gb *graph.Graph, k int) (labA, labB [][]int, ok bool, err error) {
 	muA := ot.DegreeWeights(ga.Degrees())
 	muB := ot.DegreeWeights(gb.Degrees())
 	wBar := make([]float64, k)
@@ -176,12 +193,21 @@ func (s *SGWL) coPartition(ga, gb *graph.Graph, k int) (labA, labB [][]int, ok b
 	// let them converge to different modes. After anchoring, the barycenter
 	// carries A's realized coarse structure and B's transport follows it.
 	var tA, tB *matrix.Dense
-	tA = ot.GromovWasserstein(ca, cBar, muA, wBar, opts)
+	tA, err = ot.GromovWassersteinCtx(ctx, ca, cBar, muA, wBar, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
 	cBar = barycenterUpdate(ca, tA, wBar)
 	const rounds = 2
 	for r := 0; r < rounds; r++ {
-		tB = ot.GromovWasserstein(cb, cBar, muB, wBar, opts)
-		tA = ot.GromovWasserstein(ca, cBar, muA, wBar, opts)
+		tB, err = ot.GromovWassersteinCtx(ctx, cb, cBar, muB, wBar, opts)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		tA, err = ot.GromovWassersteinCtx(ctx, ca, cBar, muA, wBar, opts)
+		if err != nil {
+			return nil, nil, false, err
+		}
 		upA := barycenterUpdate(ca, tA, wBar)
 		upB := barycenterUpdate(cb, tB, wBar)
 		for i := range cBar.Data {
@@ -206,19 +232,19 @@ func (s *SGWL) coPartition(ga, gb *graph.Graph, k int) (labA, labB [][]int, ok b
 			nonEmpty++
 		}
 		if (countA[c] == 0) != (countB[c] == 0) {
-			return nil, nil, false // inconsistent split
+			return nil, nil, false, nil // inconsistent split
 		}
 	}
 	if nonEmpty < 2 {
-		return nil, nil, false
+		return nil, nil, false, nil
 	}
 	// Guard against a near-total cluster that would defeat the recursion.
 	for c := 0; c < k; c++ {
 		if countA[c] > ga.N()*9/10 || countB[c] > gb.N()*9/10 {
-			return nil, nil, false
+			return nil, nil, false, nil
 		}
 	}
-	return labA, labB, true
+	return labA, labB, true, nil
 }
 
 // barycenterUpdate returns Tᵀ C T normalized by the barycenter masses.
@@ -292,7 +318,7 @@ func smoothedLabels(g *graph.Graph, t *matrix.Dense) [][]int {
 }
 
 // solveLeaf runs dense GW on the induced pair and writes the plan back.
-func (s *SGWL) solveLeaf(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *matrix.Dense) {
+func (s *SGWL) solveLeaf(ctx context.Context, src, dst *graph.Graph, srcNodes, dstNodes []int, sim *matrix.Dense) error {
 	sp := s.span.Phase("leaf_solve")
 	sp.Set("n_src", len(srcNodes))
 	sp.Set("n_dst", len(dstNodes))
@@ -303,9 +329,12 @@ func (s *SGWL) solveLeaf(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *m
 	nu := ot.DegreeWeights(subDst.Degrees())
 	ca := gwl.CostMatrix(subSrc)
 	cb := gwl.CostMatrix(subDst)
-	plan := ot.GromovWasserstein(ca, cb, mu, nu, ot.GWOptions{
+	plan, err := ot.GromovWassersteinCtx(ctx, ca, cb, mu, nu, ot.GWOptions{
 		Beta: s.Beta, OuterIters: s.OuterIters, SinkhornIters: s.SinkhornIters,
 	})
+	if err != nil {
+		return err
+	}
 	// Scale each leaf's plan to comparable magnitude before writeback so
 	// leaves of different sizes contribute comparable per-pair evidence.
 	scale := float64(len(srcNodes))
@@ -315,6 +344,7 @@ func (s *SGWL) solveLeaf(src, dst *graph.Graph, srcNodes, dstNodes []int, sim *m
 			sim.Add(u, v, prow[j]*scale)
 		}
 	}
+	return nil
 }
 
 func all(n int) []int {

@@ -1,6 +1,7 @@
 package sgwl
 
 import (
+	"context"
 	"testing"
 
 	"graphalign/internal/algo"
@@ -53,7 +54,10 @@ func TestCoPartitionConsistency(t *testing.T) {
 	// counterparts to the same cluster for the vast majority of nodes.
 	p := algotest.Pair(t, 120, 0, 42)
 	s := New()
-	labA, labB, ok := s.coPartition(p.Source, p.Target, 4)
+	labA, labB, ok, err := s.coPartition(context.Background(), p.Source, p.Target, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Skip("co-partition degenerated on this instance; leaf fallback applies")
 	}

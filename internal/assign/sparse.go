@@ -13,25 +13,42 @@ import (
 // the candidate pool from n*m to n*k, which is the difference between
 // O(nm log(nm)) and O(nk log(nk)) sorting.
 //
+// Per-row candidates are found by true partial selection — a bounded
+// min-heap of size k, O(m log k) per row instead of the O(m log m) of a
+// full sort. Ties on value keep the smaller column index.
+//
 // Rows whose top-k candidates are all taken fall back to any free column
-// (lowest index), so the result is always a maximal one-to-one matching.
+// (lowest index), so the result is always a maximal one-to-one matching:
+// no row is left unmatched while a free column remains, on square and
+// rectangular (n > m or n < m) instances alike.
 func SolveGreedyTopK(sim *matrix.Dense, k int) []int {
 	n, m := sim.Rows, sim.Cols
 	if k <= 0 || k > m {
 		k = m
 	}
 	pairs := make([]pair, 0, n*k)
-	idx := make([]int, m)
+	heap := make([]pair, 0, k)
 	for i := 0; i < n; i++ {
 		row := sim.Row(i)
-		for j := range idx {
-			idx[j] = j
+		// Bounded min-heap ordered by (v asc, j desc): the root is the
+		// weakest kept candidate, and among equal values the larger column
+		// index is evicted first, so ties resolve to smaller j.
+		heap = heap[:0]
+		for j, v := range row {
+			if len(heap) < k {
+				heap = append(heap, pair{i, j, v})
+				topKSiftUp(heap, len(heap)-1)
+				continue
+			}
+			// Candidates arrive in increasing j, so on equal value the
+			// incumbent (smaller j) wins and the newcomer is skipped.
+			if v <= heap[0].v {
+				continue
+			}
+			heap[0] = pair{i, j, v}
+			topKSiftDown(heap, 0)
 		}
-		// Partial selection of the k largest entries.
-		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
-		for _, j := range idx[:k] {
-			pairs = append(pairs, pair{i, j, row[j]})
-		}
+		pairs = append(pairs, heap...)
 	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].v != pairs[b].v {
@@ -59,9 +76,10 @@ func SolveGreedyTopK(sim *matrix.Dense, k int) []int {
 		usedCol[p.j] = true
 		matched++
 	}
-	// Fallback for starved rows: any free column keeps the matching
-	// maximal (these rows had no surviving top-k candidate).
-	if matched < n && n <= m {
+	// Fallback for starved rows: any free column keeps the matching maximal
+	// (these rows had no surviving top-k candidate). This applies regardless
+	// of shape — when n > m the loop simply stops once the columns run out.
+	if matched < n {
 		free := make([]int, 0, m-matched)
 		for j := 0; j < m; j++ {
 			if !usedCol[j] {
@@ -78,4 +96,42 @@ func SolveGreedyTopK(sim *matrix.Dense, k int) []int {
 		}
 	}
 	return mapping
+}
+
+// topKWeaker reports whether a is a weaker candidate than b under the
+// top-k selection order: smaller value, or equal value with larger column.
+func topKWeaker(a, b pair) bool {
+	if a.v != b.v {
+		return a.v < b.v
+	}
+	return a.j > b.j
+}
+
+func topKSiftUp(h []pair, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !topKWeaker(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func topKSiftDown(h []pair, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && topKWeaker(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && topKWeaker(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }

@@ -66,6 +66,62 @@ func TestGreedyTopKDegenerateK(t *testing.T) {
 	}
 }
 
+func TestGreedyTopKRectangularMaximality(t *testing.T) {
+	// On n > m instances every column must end up used: the matching is
+	// maximal, with exactly n-m rows left unmatched (-1). Before the
+	// fallback was shape-restricted to n <= m, starved rows stayed at -1
+	// even while free columns remained.
+	f := func(seed int64) bool {
+		n, m := 12, 8
+		sim := randomSim(n, m, seed)
+		mapping := SolveGreedyTopK(sim, 2)
+		usedCol := make([]bool, m)
+		matched := 0
+		for _, j := range mapping {
+			if j == -1 {
+				continue
+			}
+			if j < 0 || j >= m || usedCol[j] {
+				return false
+			}
+			usedCol[j] = true
+			matched++
+		}
+		return matched == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyTopKRectangularStarved(t *testing.T) {
+	// Deterministic n > m starvation: all four rows prefer column 0 and
+	// with k=1 see nothing else, so three rows starve; two of them must
+	// still claim the remaining free columns.
+	sim := matrix.DenseFromRows([][]float64{
+		{1, 0, 0},
+		{0.9, 0, 0},
+		{0.8, 0, 0},
+		{0.7, 0, 0},
+	})
+	mapping := SolveGreedyTopK(sim, 1)
+	usedCol := make([]bool, 3)
+	matched := 0
+	for _, j := range mapping {
+		if j == -1 {
+			continue
+		}
+		if usedCol[j] {
+			t.Fatalf("column %d matched twice: %v", j, mapping)
+		}
+		usedCol[j] = true
+		matched++
+	}
+	if matched != 3 {
+		t.Errorf("matched %d of 3 columns, mapping %v — matching not maximal", matched, mapping)
+	}
+}
+
 func TestGreedyTopKStarvedRowsFallBack(t *testing.T) {
 	// All rows prefer column 0; with k=1 only one row gets it and the rest
 	// must fall back to free columns.
@@ -77,5 +133,26 @@ func TestGreedyTopKStarvedRowsFallBack(t *testing.T) {
 	m := SolveGreedyTopK(sim, 1)
 	if !isOneToOne(m, 3) {
 		t.Fatalf("starved mapping invalid: %v", m)
+	}
+}
+
+// BenchmarkSolveGreedyTopK exercises the k ≪ m regime where bounded-heap
+// partial selection (O(m log k) per row) beats the former full per-row
+// sort (O(m log m)).
+func BenchmarkSolveGreedyTopK(b *testing.B) {
+	const n, m, k = 500, 2000, 8
+	sim := randomSim(n, m, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveGreedyTopK(sim, k)
+	}
+}
+
+func BenchmarkSolveGreedyTopKFull(b *testing.B) {
+	const n, m = 500, 2000
+	sim := randomSim(n, m, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveGreedyTopK(sim, m)
 	}
 }

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"graphalign/internal/assign"
+)
+
+// Checkpoint journals completed (cell, rep) run results as JSONL so an
+// interrupted experiment can resume without redoing finished work. The file
+// starts with one header record pinning the options that determine results
+// (seed, scale, reps, algorithm set); every subsequent line is one run
+// record. Scores and times round-trip exactly (encoding/json preserves
+// float64 bit patterns), so a resumed experiment renders byte-identical
+// tables. Errors are journaled as their messages — enough to reproduce the
+// rendered output, though typed causes (ErrTimeout/ErrPanic) flatten to
+// plain errors on reload.
+//
+// Record and Lookup are safe for concurrent use by the worker pool; each
+// record is written as one line so a killed process loses at most the line
+// being written, and Open in resume mode tolerates that truncated tail.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[string]RunResult
+	err  error
+}
+
+// ckptHeader is the first line of a checkpoint file. Version guards the
+// schema; the remaining fields guard against resuming with options that
+// would produce different results.
+type ckptHeader struct {
+	Kind       string   `json:"kind"`
+	Version    int      `json:"version"`
+	Seed       int64    `json:"seed"`
+	Scale      float64  `json:"scale"`
+	Reps       int      `json:"reps"`
+	Algorithms []string `json:"algorithms,omitempty"`
+}
+
+// ckptRecord is one journaled run, keyed by experiment, grid cell,
+// algorithm label, assignment method and rep index.
+type ckptRecord struct {
+	Kind   string     `json:"kind"`
+	Exp    string     `json:"exp,omitempty"`
+	Cell   string     `json:"cell"`
+	Algo   string     `json:"algo"`
+	Method string     `json:"method"`
+	Rep    int        `json:"rep"`
+	Result ckptResult `json:"result"`
+}
+
+// ckptResult is the serialized form of RunResult. Durations are journaled
+// as integer nanoseconds.
+type ckptResult struct {
+	Algorithm  string  `json:"algorithm,omitempty"`
+	Assign     string  `json:"assign,omitempty"`
+	Accuracy   float64 `json:"accuracy,omitempty"`
+	EC         float64 `json:"ec,omitempty"`
+	ICS        float64 `json:"ics,omitempty"`
+	S3         float64 `json:"s3,omitempty"`
+	MNC        float64 `json:"mnc,omitempty"`
+	SimNS      int64   `json:"sim_ns,omitempty"`
+	AssignNS   int64   `json:"assign_ns,omitempty"`
+	AllocBytes uint64  `json:"alloc_bytes,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+const checkpointVersion = 1
+
+// checkpointHeader derives the compatibility header from the options.
+func checkpointHeader(opts Options) ckptHeader {
+	return ckptHeader{
+		Kind:       "header",
+		Version:    checkpointVersion,
+		Seed:       opts.Seed,
+		Scale:      opts.Scale,
+		Reps:       opts.Reps,
+		Algorithms: opts.algorithms(),
+	}
+}
+
+// OpenCheckpoint opens a run journal at path. With resume false the file is
+// created (or truncated) and the header written. With resume true an
+// existing file is loaded — its header must match the current options, its
+// records seed Lookup, and new records append to it; a missing file falls
+// back to a fresh journal, so `-resume` is safe on the first run too.
+func OpenCheckpoint(path string, opts Options, resume bool) (*Checkpoint, error) {
+	ck := &Checkpoint{seen: make(map[string]RunResult)}
+	if resume {
+		if err := ck.load(path, checkpointHeader(opts)); err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				return nil, err
+			}
+			resume = false
+		}
+	}
+	if resume {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		ck.f = f
+		return ck, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	ck.f = f
+	if err := ck.writeLine(checkpointHeader(opts)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ck, nil
+}
+
+// load reads an existing journal, verifying the header against want and
+// collecting every run record. A final line without a trailing newline is
+// the torn write of a killed process and is ignored; malformed lines
+// elsewhere are corruption and are reported.
+func (ck *Checkpoint) load(path string, want ckptHeader) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(raw), "\n")
+	// A well-formed file ends with a newline, leaving a final empty element;
+	// anything else in the last slot is a truncated record.
+	last := len(lines) - 1
+	sawHeader := false
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &kind); err != nil {
+			if i == last {
+				break // torn tail after SIGKILL; redo that run
+			}
+			return fmt.Errorf("checkpoint %s: line %d: %w", path, i+1, err)
+		}
+		switch kind.Kind {
+		case "header":
+			var h ckptHeader
+			if err := json.Unmarshal([]byte(line), &h); err != nil {
+				return fmt.Errorf("checkpoint %s: header: %w", path, err)
+			}
+			if err := h.check(want); err != nil {
+				return fmt.Errorf("checkpoint %s: %w", path, err)
+			}
+			sawHeader = true
+		case "run":
+			var r ckptRecord
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				if i == last {
+					break
+				}
+				return fmt.Errorf("checkpoint %s: line %d: %w", path, i+1, err)
+			}
+			if !sawHeader {
+				return fmt.Errorf("checkpoint %s: run record before header", path)
+			}
+			ck.seen[ckptKey(r.Exp, r.Cell, r.Algo, assign.Method(r.Method), r.Rep)] = r.Result.runResult()
+		default:
+			return fmt.Errorf("checkpoint %s: line %d: unknown kind %q", path, i+1, kind.Kind)
+		}
+	}
+	if !sawHeader {
+		return fmt.Errorf("checkpoint %s: missing header", path)
+	}
+	return nil
+}
+
+// check compares the journaled header against the current options' header.
+func (h ckptHeader) check(want ckptHeader) error {
+	if h.Version != want.Version {
+		return fmt.Errorf("journal version %d, this build writes %d", h.Version, want.Version)
+	}
+	if h.Seed != want.Seed || h.Scale != want.Scale || h.Reps != want.Reps {
+		return fmt.Errorf("journal written with seed=%d scale=%g reps=%d, current options are seed=%d scale=%g reps=%d",
+			h.Seed, h.Scale, h.Reps, want.Seed, want.Scale, want.Reps)
+	}
+	if strings.Join(h.Algorithms, ",") != strings.Join(want.Algorithms, ",") {
+		return fmt.Errorf("journal written for algorithms %v, current options select %v",
+			h.Algorithms, want.Algorithms)
+	}
+	return nil
+}
+
+// ckptKey builds the lookup key for one run; \x1f separators keep composite
+// labels unambiguous.
+func ckptKey(exp, cell, algo string, method assign.Method, rep int) string {
+	return strings.Join([]string{exp, cell, algo, string(method), strconv.Itoa(rep)}, "\x1f")
+}
+
+// Lookup returns the journaled result for one run, if present.
+func (ck *Checkpoint) Lookup(exp, cell, algo string, method assign.Method, rep int) (RunResult, bool) {
+	if ck == nil {
+		return RunResult{}, false
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	res, ok := ck.seen[ckptKey(exp, cell, algo, method, rep)]
+	return res, ok
+}
+
+// Record journals one completed run. Workers call it concurrently; writes
+// are serialized and each record is one line. The first write error is
+// retained and reported by Close.
+func (ck *Checkpoint) Record(exp, cell, algo string, method assign.Method, rep int, res RunResult) {
+	if ck == nil {
+		return
+	}
+	rec := ckptRecord{
+		Kind: "run", Exp: exp, Cell: cell, Algo: algo,
+		Method: string(method), Rep: rep, Result: toCkptResult(res),
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.seen[ckptKey(exp, cell, algo, method, rep)] = res
+	if err := ck.writeLineLocked(rec); err != nil && ck.err == nil {
+		ck.err = err
+	}
+}
+
+func (ck *Checkpoint) writeLine(v any) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.writeLineLocked(v)
+}
+
+func (ck *Checkpoint) writeLineLocked(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = ck.f.Write(b)
+	return err
+}
+
+// Err returns the first write error, if any, without closing the journal.
+func (ck *Checkpoint) Err() error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.err
+}
+
+// Close flushes and closes the journal, reporting the first error seen.
+func (ck *Checkpoint) Close() error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	cerr := ck.f.Close()
+	if ck.err != nil {
+		return ck.err
+	}
+	return cerr
+}
+
+func toCkptResult(res RunResult) ckptResult {
+	c := ckptResult{
+		Algorithm:  res.Algorithm,
+		Assign:     string(res.Assign),
+		Accuracy:   res.Scores.Accuracy,
+		EC:         res.Scores.EC,
+		ICS:        res.Scores.ICS,
+		S3:         res.Scores.S3,
+		MNC:        res.Scores.MNC,
+		SimNS:      int64(res.SimilarityTime),
+		AssignNS:   int64(res.AssignTime),
+		AllocBytes: res.AllocBytes,
+	}
+	if res.Err != nil {
+		c.Err = res.Err.Error()
+	}
+	return c
+}
+
+func (c ckptResult) runResult() RunResult {
+	res := RunResult{
+		Algorithm:      c.Algorithm,
+		Assign:         assign.Method(c.Assign),
+		SimilarityTime: time.Duration(c.SimNS),
+		AssignTime:     time.Duration(c.AssignNS),
+		AllocBytes:     c.AllocBytes,
+	}
+	res.Scores.Accuracy = c.Accuracy
+	res.Scores.EC = c.EC
+	res.Scores.ICS = c.ICS
+	res.Scores.S3 = c.S3
+	res.Scores.MNC = c.MNC
+	if c.Err != "" {
+		res.Err = errors.New(c.Err)
+	}
+	return res
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -67,6 +69,28 @@ type Options struct {
 	// Seed and Workers the output tables are byte-identical with the
 	// tracer attached or nil; only the tracer's own sinks see more.
 	Tracer *obsv.Tracer
+	// Ctx, when non-nil, cancels the whole run cooperatively: workers stop
+	// claiming new (cell, rep) slots and in-flight algorithm runs return at
+	// their next iteration boundary. Unstarted slots are backfilled with the
+	// context's error so drivers still see a complete result set. Nil means
+	// context.Background() — never cancelled, zero overhead.
+	Ctx context.Context
+	// RunTimeout bounds each individual algorithm run's wall clock (off when
+	// zero). A run that blows the budget is cancelled cooperatively and its
+	// RunResult.Err is a *TimeoutError (errors.Is ErrTimeout); sibling runs
+	// and the rest of the grid are unaffected. This is the fault-isolation
+	// complement of PerRunBudget, which only stops *future* sweep points.
+	RunTimeout time.Duration
+	// Checkpoint, when non-nil, journals every completed (cell, rep) run as
+	// one JSONL record and replays journaled results instead of recomputing
+	// them, making interrupted experiments resumable with byte-identical
+	// output. See OpenCheckpoint.
+	Checkpoint *Checkpoint
+
+	// expID is the running experiment's id, set by RunExperiment so that
+	// checkpoint records are keyed per experiment. Experiments invoked
+	// directly leave it empty, which is still a valid key.
+	expID string
 
 	// obs is the per-Options observability state (progress mutex, cell
 	// counters) shared by every copy of this Options value. DefaultOptions
@@ -95,6 +119,16 @@ func (o *Options) obsv() *obsState {
 		return o.obs
 	}
 	return &fallbackObs
+}
+
+// ctx returns the run context, defaulting to the never-cancelled background
+// context so that code paths with fault tolerance off behave exactly as
+// they did before the context was threaded through.
+func (o *Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns options sized for a laptop-class machine.
@@ -259,6 +293,7 @@ func RunExperiment(id string, opts Options) (*Table, error) {
 		opts.Progress = nil
 	}
 	opts.obs = &obsState{start: time.Now()}
+	opts.expID = id
 	opts.Tracer.Emit("experiment_start", id, map[string]any{"title": e.Title})
 	start := time.Now()
 	table, runErr := e.Run(opts)
@@ -346,34 +381,60 @@ func noisyInstances(base *graph.Graph, t noise.Type, level float64, opts Options
 // per-algorithm constants, so fresh instances stay deterministic). With
 // opts.MemProfile the runs take the serialized profiled path instead, which
 // is the only mode in which AllocBytes is meaningful.
-func runInstances(opts Options, build func() (algo.Aligner, error), pairs []noise.Pair, method assign.Method) []RunResult {
+//
+// cell and label key the runs in the checkpoint journal (label is the
+// algorithm name, or a variant tag for ablation runs). Journaled runs are
+// replayed without recomputation; freshly completed runs are journaled
+// unless the whole grid was cancelled mid-run. When opts.Ctx is cancelled,
+// unstarted slots are backfilled with the context's error so callers always
+// receive len(pairs) results.
+func runInstances(opts Options, cell, label string, build func(i int) (algo.Aligner, error), pairs []noise.Pair, method assign.Method) []RunResult {
 	runs := make([]RunResult, len(pairs))
-	parallel.For(opts.Workers, len(pairs), func(i int) {
-		a, err := build()
-		if err != nil {
-			runs[i] = RunResult{Err: err}
+	done := make([]bool, len(pairs))
+	ctx := opts.ctx()
+	parallel.ForCtx(ctx, opts.Workers, len(pairs), func(i int) {
+		done[i] = true
+		if res, ok := opts.Checkpoint.Lookup(opts.expID, cell, label, method, i); ok {
+			runs[i] = res
 			return
 		}
-		if opts.MemProfile {
-			runs[i] = runInstanceProfiled(a, pairs[i], method, opts.Tracer)
+		a, err := build(i)
+		if err != nil {
+			runs[i] = RunResult{Err: err}
+		} else if opts.MemProfile {
+			runs[i] = runInstanceProfiled(ctx, a, pairs[i], method, opts.Tracer, opts.RunTimeout)
 		} else {
-			runs[i] = RunInstanceTraced(a, pairs[i], method, opts.Tracer)
+			runs[i] = RunInstanceCtx(ctx, a, pairs[i], method, opts.Tracer, opts.RunTimeout)
+		}
+		// A run cut short by grid-wide cancellation (as opposed to its own
+		// budget) is incomplete, not failed: leave it out of the journal so a
+		// resumed run redoes it.
+		if !errors.Is(runs[i].Err, context.Canceled) {
+			opts.Checkpoint.Record(opts.expID, cell, label, method, i, runs[i])
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		for i := range runs {
+			if !done[i] {
+				runs[i] = RunResult{Err: err}
+			}
+		}
+	}
 	return runs
 }
 
 // runAveraged instantiates the named algorithm once per instance, runs the
 // instances across the worker pool with the given assignment method, and
 // returns the averaged result. A factory error is returned; per-run errors
-// are folded into RunResult.Err.
-func runAveraged(opts Options, name string, pairs []noise.Pair, method assign.Method) (RunResult, error) {
+// are folded into RunResult.Err. cell names the grid cell for checkpoint
+// keying (see runInstances).
+func runAveraged(opts Options, cell, name string, pairs []noise.Pair, method assign.Method) (RunResult, error) {
 	// Resolve the name up front so an unknown algorithm is a hard error
 	// rather than a silently failed cell.
 	if _, err := opts.Factory(name); err != nil {
 		return RunResult{}, err
 	}
-	runs := runInstances(opts, func() (algo.Aligner, error) { return opts.Factory(name) }, pairs, method)
+	runs := runInstances(opts, cell, name, func(int) (algo.Aligner, error) { return opts.Factory(name) }, pairs, method)
 	mean, _ := Average(runs)
 	mean.Algorithm = name
 	mean.Assign = method

@@ -13,7 +13,6 @@ import (
 	"graphalign/internal/assign"
 	"graphalign/internal/gen"
 	"graphalign/internal/noise"
-	"graphalign/internal/parallel"
 )
 
 // Ablation experiments probe the design choices DESIGN.md calls out. They
@@ -61,9 +60,10 @@ func ablationInstances(opts Options, rng *rand.Rand) ([]noise.Pair, error) {
 // runVariant runs a configured aligner variant over instances with JV and
 // records a row keyed by the variant label. build is invoked once per
 // instance so the runs can fan out across the worker pool without sharing
-// aligner state between goroutines.
-func runVariant(t *Table, opts Options, build func() algo.Aligner, label map[string]string, pairs []noise.Pair) {
-	runs := runInstances(opts, func() (algo.Aligner, error) { return build(), nil }, pairs, assign.JonkerVolgenant)
+// aligner state between goroutines. cell keys the runs in the checkpoint
+// journal and must be unique per variant within its experiment.
+func runVariant(t *Table, opts Options, cell string, build func() algo.Aligner, label map[string]string, pairs []noise.Pair) {
+	runs := runInstances(opts, cell, "variant", func(int) (algo.Aligner, error) { return build(), nil }, pairs, assign.JonkerVolgenant)
 	mean, ok := Average(runs)
 	if ok == 0 {
 		return
@@ -85,20 +85,19 @@ func runAblationIsoRankPrior(opts Options) (*Table, error) {
 		[]string{"prior"}, []string{"accuracy", "s3", "sim_time"})
 	opts.declareCells(2)
 	// Degree-similarity prior (the study's Section 6.1 choice).
-	runVariant(t, opts, func() algo.Aligner { return isorank.New() },
+	runVariant(t, opts, "isorank-prior/degree-similarity", func() algo.Aligner { return isorank.New() },
 		map[string]string{"prior": "degree-similarity"}, pairs)
 	opts.cellDone("ablation-isorank-prior/degree-similarity")
 	// Uniform prior (what earlier comparisons effectively used). The prior
 	// must match each instance's shape, so build it instance-by-instance.
-	runs := make([]RunResult, len(pairs))
-	parallel.For(opts.Workers, len(pairs), func(i int) {
+	runs := runInstances(opts, "isorank-prior/uniform", "variant", func(i int) (algo.Aligner, error) {
 		p := pairs[i]
 		ir := isorank.New()
 		uniform := algo.DegreePrior(p.Source, p.Target)
 		uniform.Fill(1)
 		ir.Prior = uniform
-		runs[i] = RunInstance(ir, p, assign.JonkerVolgenant)
-	})
+		return ir, nil
+	}, pairs, assign.JonkerVolgenant)
 	if mean, ok := Average(runs); ok > 0 {
 		t.Add(map[string]string{"prior": "uniform"}, map[string]float64{
 			"accuracy": mean.Scores.Accuracy,
@@ -122,7 +121,7 @@ func runAblationLREARank(opts Options) (*Table, error) {
 	opts.declareCells(len(sweep))
 	for _, iters := range sweep {
 		iters := iters
-		runVariant(t, opts, func() algo.Aligner {
+		runVariant(t, opts, fmt.Sprintf("lrea-rank/%d", iters), func() algo.Aligner {
 			l := lrea.New()
 			l.Iters = iters
 			return l
@@ -147,11 +146,11 @@ func runAblationLREAvsEigenAlign(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		runVariant(t, opts, func() algo.Aligner { return lrea.New() }, map[string]string{
+		runVariant(t, opts, fmt.Sprintf("lrea-ea/LREA/%d", n), func() algo.Aligner { return lrea.New() }, map[string]string{
 			"n": fmt.Sprintf("%d", n), "algorithm": "LREA",
 		}, pairs)
 		opts.cellDone(fmt.Sprintf("ablation-lrea-ea/LREA/%d", n))
-		runVariant(t, opts, func() algo.Aligner { return lrea.NewEigenAlign() }, map[string]string{
+		runVariant(t, opts, fmt.Sprintf("lrea-ea/EigenAlign/%d", n), func() algo.Aligner { return lrea.NewEigenAlign() }, map[string]string{
 			"n": fmt.Sprintf("%d", n), "algorithm": "EigenAlign",
 		}, pairs)
 		opts.cellDone(fmt.Sprintf("ablation-lrea-ea/EigenAlign/%d", n))
@@ -173,7 +172,7 @@ func runAblationGRASPParams(opts Options) (*Table, error) {
 	for _, k := range ks {
 		for _, q := range qs {
 			k, q := k, q
-			runVariant(t, opts, func() algo.Aligner {
+			runVariant(t, opts, fmt.Sprintf("grasp/k=%d/q=%d", k, q), func() algo.Aligner {
 				g := grasp.New()
 				g.K = k
 				g.Q = q
@@ -200,7 +199,7 @@ func runAblationSGWLBeta(opts Options) (*Table, error) {
 	run := func(name string, pairs []noise.Pair) {
 		for _, beta := range betas {
 			beta := beta
-			runVariant(t, opts, func() algo.Aligner {
+			runVariant(t, opts, fmt.Sprintf("sgwl/%s/beta=%.3f", name, beta), func() algo.Aligner {
 				s := sgwl.New()
 				s.Beta = beta
 				return s
@@ -236,7 +235,7 @@ func runAblationCONEDim(opts Options) (*Table, error) {
 	opts.declareCells(len(dims))
 	for _, dim := range dims {
 		dim := dim
-		runVariant(t, opts, func() algo.Aligner {
+		runVariant(t, opts, fmt.Sprintf("cone/dim=%d", dim), func() algo.Aligner {
 			c := cone.New()
 			c.Dim = dim
 			return c

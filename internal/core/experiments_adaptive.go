@@ -61,12 +61,12 @@ func runAblationAdaptive(opts Options) (*Table, error) {
 	opts.declareCells(len(regimes))
 	for _, rg := range regimes {
 		// The adaptive dispatcher first.
-		runVariant(t, opts, func() algo.Aligner { return adaptive.New() }, map[string]string{
+		runVariant(t, opts, "adaptive/"+rg.name, func() algo.Aligner { return adaptive.New() }, map[string]string{
 			"regime": rg.name, "algorithm": "Adaptive",
 		}, rg.pairs)
 		// Then every fixed algorithm from the study's set.
 		for _, name := range opts.algorithms() {
-			mean, err := runAveraged(opts, name, rg.pairs, assign.JonkerVolgenant)
+			mean, err := runAveraged(opts, "adaptive/"+rg.name, name, rg.pairs, assign.JonkerVolgenant)
 			if err != nil {
 				return nil, err
 			}

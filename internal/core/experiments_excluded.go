@@ -40,11 +40,12 @@ func runExcludedNetAlign(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		runVariant(t, opts, func() algo.Aligner { return netalign.New() }, map[string]string{
+		cell := fmt.Sprintf("excluded-netalign/%.2f", level)
+		runVariant(t, opts, cell, func() algo.Aligner { return netalign.New() }, map[string]string{
 			"level": fmt.Sprintf("%.2f", level), "algorithm": "NetAlign",
 		}, pairs)
 		for _, name := range opts.algorithms() {
-			mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
+			mean, err := runAveraged(opts, cell, name, pairs, assign.JonkerVolgenant)
 			if err != nil {
 				return nil, err
 			}

@@ -53,8 +53,9 @@ func runRealNoise(opts Options, datasets []string, noiseTypes []noise.Type, leve
 				if err != nil {
 					return nil, err
 				}
+				cell := fmt.Sprintf("%s/%s/%.2f", dsName, nt, level)
 				for _, name := range opts.algorithms() {
-					mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
+					mean, err := runAveraged(opts, cell, name, pairs, assign.JonkerVolgenant)
 					if err != nil {
 						return nil, err
 					}
@@ -124,8 +125,9 @@ func runFig9(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		cell := fmt.Sprintf("fig9/%.2f", level)
 		for _, name := range opts.algorithms() {
-			mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
+			mean, err := runAveraged(opts, cell, name, pairs, assign.JonkerVolgenant)
 			if err != nil {
 				return nil, err
 			}
@@ -165,8 +167,9 @@ func runFig10(opts Options) (*Table, error) {
 			return nil, err
 		}
 		for i, p := range pairs {
+			cell := fmt.Sprintf("fig10/%s/%.2f", dsName, fractions[i])
 			for _, name := range opts.algorithms() {
-				mean, err := runAveraged(opts, name, []noise.Pair{p}, assign.JonkerVolgenant)
+				mean, err := runAveraged(opts, cell, name, []noise.Pair{p}, assign.JonkerVolgenant)
 				if err != nil {
 					return nil, err
 				}

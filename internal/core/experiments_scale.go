@@ -145,7 +145,7 @@ func runScalability(opts Options, byNodes, memory bool) (*Table, error) {
 				continue
 			}
 			start := time.Now()
-			mean, err := runAveraged(opts, name, pairs, assign.SortGreedy)
+			mean, err := runAveraged(opts, fmt.Sprintf("scal/%s/%d", xLabel, x), name, pairs, assign.SortGreedy)
 			if err != nil {
 				return nil, err
 			}
@@ -233,8 +233,9 @@ func fig15Point(opts Options, t *Table, rng *rand.Rand, sweep string, n, k int, 
 	if err != nil {
 		return err
 	}
+	cell := fmt.Sprintf("fig15/%s/%g/%d", sweep, p, k)
 	for _, name := range opts.algorithms() {
-		mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
+		mean, err := runAveraged(opts, cell, name, pairs, assign.JonkerVolgenant)
 		if err != nil {
 			return err
 		}
@@ -294,8 +295,9 @@ func runFig16(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		cell := fmt.Sprintf("fig16/%s/%d", c.regime, c.n)
 		for _, name := range opts.algorithms() {
-			mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
+			mean, err := runAveraged(opts, cell, name, pairs, assign.JonkerVolgenant)
 			if err != nil {
 				return nil, err
 			}

@@ -66,8 +66,9 @@ func runModelFigure(opts Options, model gen.Model) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			cell := fmt.Sprintf("%s/%s/%.2f", model, nt, level)
 			for _, name := range opts.algorithms() {
-				mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
+				mean, err := runAveraged(opts, cell, name, pairs, assign.JonkerVolgenant)
 				if err != nil {
 					return nil, err
 				}
@@ -121,9 +122,10 @@ func runFig1(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			cell := fmt.Sprintf("fig1/%s/%.2f", ds.name, level)
 			for _, name := range opts.algorithms() {
 				for _, method := range assign.Methods() {
-					mean, err := runAveraged(opts, name, pairs, method)
+					mean, err := runAveraged(opts, cell, name, pairs, method)
 					if err != nil {
 						return nil, err
 					}

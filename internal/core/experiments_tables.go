@@ -93,7 +93,7 @@ func runTable3(opts Options) (*Table, error) {
 			pairs = append(pairs, ps...)
 		}
 		for _, name := range opts.algorithms() {
-			mean, err := runAveraged(opts, name, pairs, assign.JonkerVolgenant)
+			mean, err := runAveraged(opts, "table3/"+string(model), name, pairs, assign.JonkerVolgenant)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrTimeout is the sentinel cause of runs killed by the per-run wall-clock
+// budget (Options.RunTimeout). Match with errors.Is; the concrete error in
+// RunResult.Err is a *TimeoutError carrying the budget.
+var ErrTimeout = errors.New("run exceeded wall-clock budget")
+
+// ErrPanic is the sentinel cause of runs that panicked inside the worker
+// pool. Match with errors.Is; the concrete error in RunResult.Err is a
+// *PanicError carrying the recovered value and stack.
+var ErrPanic = errors.New("run panicked")
+
+// TimeoutError records a run cancelled by the per-run budget. It unwraps to
+// ErrTimeout so callers can classify without string matching.
+type TimeoutError struct {
+	// Budget is the wall-clock limit the run exceeded.
+	Budget time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("run exceeded wall-clock budget (%s)", e.Budget)
+}
+
+// Unwrap makes errors.Is(err, ErrTimeout) true.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// PanicError records a run that panicked. The panic is recovered in the
+// worker that ran it, so one panicking algorithm marks only its own
+// (cell, rep) as failed while the rest of the grid completes.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("run panicked: %v", e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrPanic) true.
+func (e *PanicError) Unwrap() error { return ErrPanic }

@@ -134,7 +134,7 @@ func TestRunAveragedParallelRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mean, err := runAveraged(opts, "NSD", pairs, assign.JonkerVolgenant)
+	mean, err := runAveraged(opts, "race-test", "NSD", pairs, assign.JonkerVolgenant)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestMemProfilePopulatesAllocBytes(t *testing.T) {
 	}
 	opts := testOptions()
 	opts.MemProfile = true
-	mean, err := runAveraged(opts, "NSD", []noise.Pair{p, p}, assign.JonkerVolgenant)
+	mean, err := runAveraged(opts, "memprofile-test", "NSD", []noise.Pair{p, p}, assign.JonkerVolgenant)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,9 +6,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -51,7 +53,7 @@ type RunResult struct {
 // ground truth. It is safe to call concurrently as long as each call gets
 // its own Aligner instance; AllocBytes is left zero (see RunInstanceProfiled).
 func RunInstance(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
-	return RunInstanceTraced(a, pair, method, nil)
+	return RunInstanceCtx(context.Background(), a, pair, method, nil, 0)
 }
 
 // RunInstanceTraced is RunInstance reporting through a tracer: the run is
@@ -61,7 +63,25 @@ func RunInstance(a algo.Aligner, pair noise.Pair, method assign.Method) RunResul
 // tracer reduces to exactly RunInstance — tracing never changes the
 // computation, only what is observed about it.
 func RunInstanceTraced(a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer) RunResult {
-	res := RunResult{Algorithm: a.Name(), Assign: method}
+	return RunInstanceCtx(context.Background(), a, pair, method, tr, 0)
+}
+
+// RunInstanceCtx is the fault-tolerant run entry point: the similarity stage
+// observes ctx through the algorithm's cooperative cancellation checks, a
+// positive budget bounds the run's wall clock (deadline exceeded becomes a
+// *TimeoutError unwrapping to ErrTimeout), and a panic anywhere in the run
+// is recovered into a *PanicError unwrapping to ErrPanic with the stack
+// captured — the calling worker survives. With a background context and zero
+// budget it is exactly RunInstanceTraced. A parent-context cancellation
+// (ctx.Err() == context.Canceled) passes through unclassified so callers
+// can distinguish "the whole grid was stopped" from "this run timed out".
+func RunInstanceCtx(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer, budget time.Duration) (res RunResult) {
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	res = RunResult{Algorithm: a.Name(), Assign: method}
 	run := tr.StartRun(a.Name(), map[string]any{
 		"assign": string(method),
 		"n_src":  pair.Source.N(),
@@ -72,14 +92,22 @@ func RunInstanceTraced(a algo.Aligner, pair noise.Pair, method assign.Method, tr
 	}
 	reg := tr.Registry()
 	reg.Counter("runs_total").Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+			res.Scores = metrics.Scores{}
+			reg.Counter("run_panics_total").Add(1)
+			res = endRunErr(run, reg, res)
+		}
+	}()
 
 	sp := run.Phase("similarity")
 	t0 := time.Now()
-	sim, err := a.Similarity(pair.Source, pair.Target)
+	sim, err := algo.Similarity(ctx, a, pair.Source, pair.Target)
 	res.SimilarityTime = time.Since(t0)
 	sp.End()
 	if err != nil {
-		res.Err = fmt.Errorf("similarity: %w", err)
+		res.Err = classifyRunErr(fmt.Errorf("similarity: %w", err), budget, reg)
 		return endRunErr(run, reg, res)
 	}
 
@@ -116,6 +144,18 @@ func endRunErr(run *obsv.Span, reg *obsv.Registry, res RunResult) RunResult {
 	return res
 }
 
+// classifyRunErr maps a run's error onto its typed cause: a deadline blown
+// inside the run becomes a *TimeoutError (counted as run_timeouts_total),
+// while parent-context cancellation and ordinary algorithm errors pass
+// through unchanged.
+func classifyRunErr(err error, budget time.Duration, reg *obsv.Registry) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		reg.Counter("run_timeouts_total").Add(1)
+		return &TimeoutError{Budget: budget}
+	}
+	return err
+}
+
 // memProfileMu serializes profiled runs: runtime.ReadMemStats reports
 // process-wide counters, so two overlapping profiled runs would attribute
 // each other's allocations to themselves.
@@ -128,15 +168,15 @@ var memProfileMu sync.Mutex
 // included, so treat AllocBytes as an upper-bound proxy for the paper's
 // peak-memory numbers, not an exact footprint.
 func RunInstanceProfiled(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
-	return runInstanceProfiled(a, pair, method, nil)
+	return runInstanceProfiled(context.Background(), a, pair, method, nil, 0)
 }
 
-func runInstanceProfiled(a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer) RunResult {
+func runInstanceProfiled(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer, budget time.Duration) RunResult {
 	memProfileMu.Lock()
 	defer memProfileMu.Unlock()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	res := RunInstanceTraced(a, pair, method, tr)
+	res := RunInstanceCtx(ctx, a, pair, method, tr, budget)
 	runtime.ReadMemStats(&after)
 	res.AllocBytes = after.TotalAlloc - before.TotalAlloc
 	return res

@@ -6,6 +6,7 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,12 @@ import (
 // The implementation is the classic Householder tridiagonalization followed
 // by the implicit-shift QL algorithm (Numerical Recipes tred2/tqli).
 func SymEigen(a *matrix.Dense) (vals []float64, vecs *matrix.Dense, err error) {
+	return SymEigenCtx(context.Background(), a)
+}
+
+// SymEigenCtx is SymEigen with cooperative cancellation checked once per
+// eigenvalue in the QL phase; it returns ctx.Err() when interrupted.
+func SymEigenCtx(ctx context.Context, a *matrix.Dense) (vals []float64, vecs *matrix.Dense, err error) {
 	if a.Rows != a.Cols {
 		return nil, nil, fmt.Errorf("linalg: SymEigen requires square matrix, got %dx%d", a.Rows, a.Cols)
 	}
@@ -29,7 +36,7 @@ func SymEigen(a *matrix.Dense) (vals []float64, vecs *matrix.Dense, err error) {
 	d := make([]float64, n)
 	e := make([]float64, n)
 	tred2(z, d, e)
-	if err := tqli(d, e, z); err != nil {
+	if err := tqli(ctx, d, e, z); err != nil {
 		return nil, nil, err
 	}
 	// Sort ascending by eigenvalue, permuting columns of z.
@@ -131,14 +138,19 @@ func tred2(z *matrix.Dense, d, e []float64) {
 }
 
 // tqli diagonalizes the tridiagonal matrix (d, e) with the implicit-shift QL
-// algorithm, accumulating rotations into z columns.
-func tqli(d, e []float64, z *matrix.Dense) error {
+// algorithm, accumulating rotations into z columns. ctx is checked once per
+// eigenvalue — each QL deflation is O(n²), so the check adds no measurable
+// cost while keeping cancellation latency bounded.
+func tqli(ctx context.Context, d, e []float64, z *matrix.Dense) error {
 	n := len(d)
 	for i := 1; i < n; i++ {
 		e[i-1] = e[i]
 	}
 	e[n-1] = 0.0
 	for l := 0; l < n; l++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		iter := 0
 		for {
 			var m int

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -34,16 +35,28 @@ func CSROp(m *matrix.CSR) SymOp {
 // Used for the normalized Laplacian, whose small eigenvalues carry the
 // global structure GRASP needs.
 func LanczosSmallest(op SymOp, k, maxIter int, rng *rand.Rand) (vals []float64, vecs *matrix.Dense, err error) {
-	return lanczos(op, k, maxIter, rng, false)
+	return lanczos(context.Background(), op, k, maxIter, rng, false)
+}
+
+// LanczosSmallestCtx is LanczosSmallest with cooperative cancellation
+// checked once per Lanczos step; it returns ctx.Err() when interrupted.
+func LanczosSmallestCtx(ctx context.Context, op SymOp, k, maxIter int, rng *rand.Rand) (vals []float64, vecs *matrix.Dense, err error) {
+	return lanczos(ctx, op, k, maxIter, rng, false)
 }
 
 // LanczosLargest computes the k algebraically largest eigenpairs of op,
 // returned in descending order of eigenvalue.
 func LanczosLargest(op SymOp, k, maxIter int, rng *rand.Rand) (vals []float64, vecs *matrix.Dense, err error) {
-	return lanczos(op, k, maxIter, rng, true)
+	return lanczos(context.Background(), op, k, maxIter, rng, true)
 }
 
-func lanczos(op SymOp, k, maxIter int, rng *rand.Rand, largest bool) ([]float64, *matrix.Dense, error) {
+// LanczosLargestCtx is LanczosLargest with cooperative cancellation checked
+// once per Lanczos step.
+func LanczosLargestCtx(ctx context.Context, op SymOp, k, maxIter int, rng *rand.Rand) (vals []float64, vecs *matrix.Dense, err error) {
+	return lanczos(ctx, op, k, maxIter, rng, true)
+}
+
+func lanczos(ctx context.Context, op SymOp, k, maxIter int, rng *rand.Rand, largest bool) ([]float64, *matrix.Dense, error) {
 	n := op.N
 	if k <= 0 || k > n {
 		return nil, nil, fmt.Errorf("linalg: lanczos k=%d out of range (n=%d)", k, n)
@@ -68,6 +81,9 @@ func lanczos(op SymOp, k, maxIter int, rng *rand.Rand, largest bool) ([]float64,
 	w := make([]float64, n)
 
 	for j := 0; j < steps; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		qj := append([]float64(nil), v...)
 		q = append(q, qj)
 		op.Apply(w, qj)
@@ -120,7 +136,7 @@ func lanczos(op SymOp, k, maxIter int, rng *rand.Rand, largest bool) ([]float64,
 			t.Set(i+1, i, beta[i])
 		}
 	}
-	tv, tz, err := SymEigen(t)
+	tv, tz, err := SymEigenCtx(ctx, t)
 	if err != nil {
 		return nil, nil, err
 	}

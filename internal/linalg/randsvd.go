@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"math/rand"
 
 	"graphalign/internal/matrix"
@@ -14,6 +15,13 @@ import (
 // q = 2 already gives near-exact leading triplets at O(mnk) cost instead of
 // the O(mn^2)-per-sweep full decomposition.
 func TruncatedSVD(a *matrix.Dense, k, iters int, rng *rand.Rand) (u *matrix.Dense, s []float64, v *matrix.Dense) {
+	u, s, v, _ = TruncatedSVDCtx(context.Background(), a, k, iters, rng)
+	return u, s, v
+}
+
+// TruncatedSVDCtx is TruncatedSVD with cooperative cancellation checked once
+// per subspace iteration; it returns ctx.Err() when interrupted.
+func TruncatedSVDCtx(ctx context.Context, a *matrix.Dense, k, iters int, rng *rand.Rand) (u *matrix.Dense, s []float64, v *matrix.Dense, err error) {
 	m, n := a.Rows, a.Cols
 	if k > m {
 		k = m
@@ -22,7 +30,7 @@ func TruncatedSVD(a *matrix.Dense, k, iters int, rng *rand.Rand) (u *matrix.Dens
 		k = n
 	}
 	if k <= 0 {
-		return matrix.NewDense(m, 0), nil, matrix.NewDense(n, 0)
+		return matrix.NewDense(m, 0), nil, matrix.NewDense(n, 0), nil
 	}
 	const oversample = 6
 	p := k + oversample
@@ -43,6 +51,9 @@ func TruncatedSVD(a *matrix.Dense, k, iters int, rng *rand.Rand) (u *matrix.Dens
 		iters = 1
 	}
 	for q := 0; q < iters; q++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		z := matrix.Mul(a.T(), y) // n x p
 		orthonormalizeColumns(z)
 		y = matrix.Mul(a, z) // m x p
@@ -50,7 +61,10 @@ func TruncatedSVD(a *matrix.Dense, k, iters int, rng *rand.Rand) (u *matrix.Dens
 	}
 	// Project: B = Yᵀ A (p x n); exact SVD of the small factor.
 	b := matrix.Mul(y.T(), a)
-	ub, sb, vb := SVDAny(b)
+	ub, sb, vb, err := SVDAnyCtx(ctx, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	// Lift U back: U = Y * Ub.
 	uFull := matrix.Mul(y, ub)
 	// Trim to k.
@@ -64,7 +78,7 @@ func TruncatedSVD(a *matrix.Dense, k, iters int, rng *rand.Rand) (u *matrix.Dens
 	for i := 0; i < n; i++ {
 		copy(v.Row(i), vb.Row(i)[:k])
 	}
-	return u, s, v
+	return u, s, v, nil
 }
 
 // orthonormalizeColumns runs modified Gram–Schmidt on the columns of y in

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -13,6 +14,13 @@ import (
 // V is n x n (thin form; if m < n the caller should transpose first — the
 // helper SVDAny handles that).
 func SVD(a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense) {
+	u, s, v, _ = SVDCtx(context.Background(), a)
+	return u, s, v
+}
+
+// SVDCtx is SVD with cooperative cancellation checked once per Jacobi sweep;
+// it returns ctx.Err() and nil factors when interrupted.
+func SVDCtx(ctx context.Context, a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense, err error) {
 	m, n := a.Rows, a.Cols
 	u = a.Clone()
 	v = matrix.NewDense(n, n)
@@ -24,6 +32,9 @@ func SVD(a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense) {
 	const maxSweeps = 60
 	eps := 1e-14
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		off := 0.0
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
@@ -98,26 +109,44 @@ func SVD(a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense) {
 			}
 		}
 	}
-	return u, s, v
+	return u, s, v, nil
 }
 
 // SVDAny computes the thin SVD for any shape, transposing internally when
 // m < n so the one-sided Jacobi always works on tall matrices. U is m x r,
 // V is n x r with r = min(m, n).
 func SVDAny(a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense) {
+	u, s, v, _ = SVDAnyCtx(context.Background(), a)
+	return u, s, v
+}
+
+// SVDAnyCtx is SVDAny with cooperative cancellation (see SVDCtx).
+func SVDAnyCtx(ctx context.Context, a *matrix.Dense) (u *matrix.Dense, s []float64, v *matrix.Dense, err error) {
 	if a.Rows >= a.Cols {
-		u, s, v = SVD(a)
-		return u, s, v
+		return SVDCtx(ctx, a)
 	}
-	vt, s, ut := SVD(a.T())
+	vt, s, ut, err := SVDCtx(ctx, a.T())
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	// a = (aᵀ)ᵀ = (vt s utᵀ)ᵀ = ut s vtᵀ
-	return ut, s, vt
+	return ut, s, vt, nil
 }
 
 // PseudoInverse returns the Moore–Penrose pseudo-inverse of a, computed from
 // the SVD; singular values below rcond * s_max are treated as zero.
 func PseudoInverse(a *matrix.Dense, rcond float64) *matrix.Dense {
-	u, s, v := SVDAny(a)
+	p, _ := PseudoInverseCtx(context.Background(), a, rcond)
+	return p
+}
+
+// PseudoInverseCtx is PseudoInverse with cooperative cancellation inherited
+// from the underlying Jacobi SVD.
+func PseudoInverseCtx(ctx context.Context, a *matrix.Dense, rcond float64) (*matrix.Dense, error) {
+	u, s, v, err := SVDAnyCtx(ctx, a)
+	if err != nil {
+		return nil, err
+	}
 	r := len(s)
 	smax := 0.0
 	for _, sv := range s {
@@ -137,7 +166,7 @@ func PseudoInverse(a *matrix.Dense, rcond float64) *matrix.Dense {
 			scaled.Set(i, j, v.At(i, j)*inv)
 		}
 	}
-	return matrix.MulABT(scaled, u) // scaled * uᵀ
+	return matrix.MulABT(scaled, u), nil // scaled * uᵀ
 }
 
 // TopKSVDSym returns the top-k singular triplets of a symmetric matrix by
@@ -145,7 +174,13 @@ func PseudoInverse(a *matrix.Dense, rcond float64) *matrix.Dense {
 // q_i). Far cheaper than Jacobi SVD for the dense symmetric proximity
 // matrices CONE factorizes.
 func TopKSVDSym(a *matrix.Dense, k int) (u *matrix.Dense, s []float64, v *matrix.Dense, err error) {
-	vals, vecs, err := SymEigen(a)
+	return TopKSVDSymCtx(context.Background(), a, k)
+}
+
+// TopKSVDSymCtx is TopKSVDSym with cooperative cancellation inherited from
+// the underlying eigendecomposition.
+func TopKSVDSymCtx(ctx context.Context, a *matrix.Dense, k int) (u *matrix.Dense, s []float64, v *matrix.Dense, err error) {
+	vals, vecs, err := SymEigenCtx(ctx, a)
 	if err != nil {
 		return nil, nil, nil, err
 	}

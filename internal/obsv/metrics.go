@@ -15,6 +15,14 @@ import (
 // registry's lifetime; all operations are safe for concurrent use. A nil
 // *Registry is a valid disabled registry: it hands out nil instruments
 // whose methods are no-ops.
+//
+// The experiment framework populates, among others:
+//
+//	runs_total          every algorithm run started
+//	run_errors_total    runs that ended with any error
+//	run_timeouts_total  runs cancelled by the per-run wall-clock budget
+//	run_panics_total    runs that panicked and were recovered in the worker
+//	lap_solve_size      histogram of assignment problem sizes
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter

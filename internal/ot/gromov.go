@@ -1,6 +1,7 @@
 package ot
 
 import (
+	"context"
 	"math"
 
 	"graphalign/internal/matrix"
@@ -38,6 +39,14 @@ func DefaultGWOptions() GWOptions {
 //
 // where cst = (Ca∘Ca) mu 1ᵀ + 1 nuᵀ (Cb∘Cb)ᵀ depends only on the marginals.
 func GromovWasserstein(ca, cb *matrix.Dense, mu, nu []float64, opts GWOptions) *matrix.Dense {
+	t, _ := GromovWassersteinCtx(context.Background(), ca, cb, mu, nu, opts)
+	return t
+}
+
+// GromovWassersteinCtx is GromovWasserstein with cooperative cancellation
+// checked at every outer proximal iteration and every inner Sinkhorn round;
+// it returns ctx.Err() and a nil plan when interrupted.
+func GromovWassersteinCtx(ctx context.Context, ca, cb *matrix.Dense, mu, nu []float64, opts GWOptions) (*matrix.Dense, error) {
 	n, m := ca.Rows, cb.Rows
 	if opts.OuterIters <= 0 {
 		opts.OuterIters = 1
@@ -73,6 +82,9 @@ func GromovWasserstein(ca, cb *matrix.Dense, mu, nu []float64, opts GWOptions) *
 	t := matrix.Outer(mu, nu)
 	grad := matrix.NewDense(n, m)
 	for it := 0; it < opts.OuterIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// grad = cst - 2 * Ca T Cbᵀ
 		caT := matrix.Mul(ca, t)         // n x m
 		caTcbT := matrix.MulABT(caT, cb) // n x m  (caT * cbᵀ)
@@ -85,15 +97,18 @@ func GromovWasserstein(ca, cb *matrix.Dense, mu, nu []float64, opts GWOptions) *
 		for i := range prox.Data {
 			prox.Data[i] = grad.Data[i]
 		}
-		tNew := sinkhornWithPrior(prox, t, mu, nu, opts.Beta, opts.SinkhornIters)
+		tNew, err := sinkhornWithPrior(ctx, prox, t, mu, nu, opts.Beta, opts.SinkhornIters)
+		if err != nil {
+			return nil, err
+		}
 		t = tNew
 	}
-	return t
+	return t, nil
 }
 
 // sinkhornWithPrior solves min <C,T> + beta*KL(T || prior) over Pi(mu, nu)
-// by scaling the kernel prior ∘ exp(-C/beta).
-func sinkhornWithPrior(c, prior *matrix.Dense, mu, nu []float64, beta float64, iters int) *matrix.Dense {
+// by scaling the kernel prior ∘ exp(-C/beta), checking ctx once per round.
+func sinkhornWithPrior(ctx context.Context, c, prior *matrix.Dense, mu, nu []float64, beta float64, iters int) (*matrix.Dense, error) {
 	n, m := c.Rows, c.Cols
 	minC := c.Data[0]
 	for _, v := range c.Data {
@@ -115,6 +130,9 @@ func sinkhornWithPrior(c, prior *matrix.Dense, mu, nu []float64, beta float64, i
 	}
 	const tiny = 1e-300
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := 0; i < n; i++ {
 			row := k.Row(i)
 			var s float64
@@ -153,7 +171,7 @@ func sinkhornWithPrior(c, prior *matrix.Dense, mu, nu []float64, beta float64, i
 			trow[j] = ui * kv * v[j]
 		}
 	}
-	return t
+	return t, nil
 }
 
 func expStable(x float64) float64 {

@@ -1,6 +1,7 @@
 package ot
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -195,5 +196,44 @@ func TestSinkhornExtremeEps(t *testing.T) {
 				t.Fatalf("eps=%v: plan[%d] = %v", eps, i, v)
 			}
 		}
+	}
+}
+
+func TestSinkhornRowStabilizationAvoidsUnderflow(t *testing.T) {
+	// Row 1's costs sit a huge constant above row 0's. Stabilizing by the
+	// global minimum would evaluate exp(-1e6/eps) for every entry of row 1 —
+	// exactly zero in float64 at this eps — leaving the row with no mass to
+	// scale and an all-zero plan row. Per-row stabilization pins each row's
+	// best entry at exp(0) = 1, so both rows keep their marginal mass.
+	c := matrix.DenseFromRows([][]float64{
+		{0, 1},
+		{1e6, 1e6 + 1},
+	})
+	mu := UniformWeights(2)
+	plan := Sinkhorn(c, mu, mu, 0.05, 100)
+	for i := 0; i < 2; i++ {
+		var rowMass float64
+		for _, v := range plan.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("plan[%d] contains %v", i, v)
+			}
+			rowMass += v
+		}
+		if math.Abs(rowMass-mu[i]) > 1e-6 {
+			t.Errorf("row %d mass = %v, want %v (underflowed row?)", i, rowMass, mu[i])
+		}
+	}
+}
+
+func TestSinkhornCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := matrix.DenseFromRows([][]float64{{0, 1}, {1, 0}})
+	mu := UniformWeights(2)
+	if _, err := SinkhornCtx(ctx, c, mu, mu, 0.1, 50); err != context.Canceled {
+		t.Errorf("SinkhornCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := GromovWassersteinCtx(ctx, c, c, mu, mu, GWOptions{Beta: 0.1, OuterIters: 5, SinkhornIters: 5}); err == nil {
+		t.Error("GromovWassersteinCtx ignored a cancelled context")
 	}
 }

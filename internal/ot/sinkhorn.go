@@ -5,6 +5,7 @@
 package ot
 
 import (
+	"context"
 	"math"
 
 	"graphalign/internal/matrix"
@@ -19,17 +20,33 @@ import (
 // row/column scaling rounds. Costs are stabilized by subtracting the row
 // minimum before exponentiation.
 func Sinkhorn(c *matrix.Dense, mu, nu []float64, eps float64, iters int) *matrix.Dense {
+	t, _ := SinkhornCtx(context.Background(), c, mu, nu, eps, iters)
+	return t
+}
+
+// SinkhornCtx is Sinkhorn with cooperative cancellation checked once per
+// scaling round; it returns ctx.Err() and a nil plan when interrupted.
+func SinkhornCtx(ctx context.Context, c *matrix.Dense, mu, nu []float64, eps float64, iters int) (*matrix.Dense, error) {
 	n, m := c.Rows, c.Cols
-	// Kernel K = exp(-C/eps), stabilized by the global minimum.
-	minC := math.Inf(1)
-	for _, v := range c.Data {
-		if v < minC {
-			minC = v
-		}
-	}
+	// Kernel K = exp(-C/eps), stabilized row by row: subtracting a per-row
+	// constant from C only rescales the row's scaling factor u_i (the plan is
+	// invariant), and it pins every row's largest kernel entry at exactly 1,
+	// so no row underflows to all zeros however wide the cost range or small
+	// eps. A single global minimum leaves rows whose costs sit far above it
+	// with uniformly tiny kernels that vanish at small eps.
 	k := matrix.NewDense(n, m)
-	for i, v := range c.Data {
-		k.Data[i] = math.Exp(-(v - minC) / eps)
+	for i := 0; i < n; i++ {
+		crow := c.Row(i)
+		minC := math.Inf(1)
+		for _, v := range crow {
+			if v < minC {
+				minC = v
+			}
+		}
+		krow := k.Row(i)
+		for j, v := range crow {
+			krow[j] = math.Exp(-(v - minC) / eps)
+		}
 	}
 	u := make([]float64, n)
 	v := make([]float64, m)
@@ -41,6 +58,9 @@ func Sinkhorn(c *matrix.Dense, mu, nu []float64, eps float64, iters int) *matrix
 	}
 	const tiny = 1e-300
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// u = mu ./ (K v)
 		for i := 0; i < n; i++ {
 			row := k.Row(i)
@@ -81,7 +101,7 @@ func Sinkhorn(c *matrix.Dense, mu, nu []float64, eps float64, iters int) *matrix
 			trow[j] = ui * kv * v[j]
 		}
 	}
-	return t
+	return t, nil
 }
 
 // UniformWeights returns the uniform probability vector of length n.

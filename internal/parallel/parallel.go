@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -100,6 +101,52 @@ func For(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, workers
+// stop claiming new iterations and ForCtx returns ctx.Err(). Iterations
+// already started run to completion — fn itself decides whether to observe
+// ctx — so on return no invocation of fn is still in flight. Indices at or
+// after the first unclaimed one are never passed to fn; the caller can
+// detect the gap from its own per-slot state. A nil-error return means every
+// iteration ran.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			if stop := workerStart(); stop != nil {
+				defer stop()
+			}
+			for ctx.Err() == nil {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // Blocks partitions [0, n) into at most workers contiguous blocks and runs

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -123,5 +124,65 @@ func TestHooksConcurrentSetRemove(t *testing.T) {
 	if starts.Load() != stops.Load() {
 		t.Errorf("racing SetHooks unbalanced the pair: %d starts, %d stops",
 			starts.Load(), stops.Load())
+	}
+}
+
+func TestForCtxRunsAllWithoutCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran [40]atomic.Int64
+		if err := ForCtx(context.Background(), workers, len(ran), func(i int) {
+			ran[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForCtxStopsClaimingOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 1000
+		var ran [n]atomic.Int64
+		var count atomic.Int64
+		err := ForCtx(ctx, workers, n, func(i int) {
+			ran[i].Add(1)
+			if count.Add(1) == 10 {
+				cancel()
+			}
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := count.Load(); got >= n {
+			t.Errorf("workers=%d: cancellation did not stop the loop (%d ran)", workers, got)
+		}
+		// Executed indices must form a contiguous prefix: once a gap
+		// appears, nothing after it may have run.
+		gap := false
+		for i := 0; i < n; i++ {
+			if ran[i].Load() == 0 {
+				gap = true
+			} else if gap {
+				t.Fatalf("workers=%d: index %d ran after a skipped index", workers, i)
+			}
+		}
+	}
+}
+
+func TestForCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var count atomic.Int64
+	if err := ForCtx(ctx, 4, 100, func(int) { count.Add(1) }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if count.Load() != 0 {
+		t.Errorf("%d iterations ran under a pre-cancelled context", count.Load())
 	}
 }
