@@ -30,6 +30,13 @@
 // where the interrupted invocation left off, reproducing byte-identical
 // output.
 //
+// Performance (off by default; never changes results):
+//
+//	-cache-budget 512MiB   share per-graph artifacts (spectra, embeddings,
+//	                       graphlet counts) across the algorithms and reps of
+//	                       a run, LRU-bounded to the given size; output is
+//	                       byte-identical with the cache on or off
+//
 // Observability (all off by default; none of these affect the results):
 //
 //	-trace-out run.jsonl   stream structured span/metric events as JSONL
@@ -53,6 +60,7 @@ import (
 	"time"
 
 	"graphalign"
+	"graphalign/internal/cache"
 	"graphalign/internal/core"
 	"graphalign/internal/obsv"
 	"graphalign/internal/parallel"
@@ -70,25 +78,26 @@ func main() {
 // status.
 func runCLI() error {
 	var (
-		expID      = flag.String("exp", "", "experiment id (fig1..fig16, table1, table3, ablation-*)")
-		list       = flag.Bool("list", false, "list available experiments")
-		all        = flag.Bool("all", false, "run every experiment")
-		scale      = flag.Float64("scale", 0.2, "graph-size scale relative to the paper (0 < s <= 1)")
-		reps       = flag.Int("reps", 3, "noisy instances averaged per point")
-		algos      = flag.String("algos", "", "comma-separated algorithm subset (default: all nine)")
-		seed       = flag.Int64("seed", 42, "random seed")
-		verbose    = flag.Bool("v", false, "print progress lines")
-		outPath    = flag.String("out", "", "write results to this file instead of stdout")
-		budget     = flag.Duration("budget", 2*time.Minute, "per-run budget for scalability sweeps")
-		format     = flag.String("format", "text", "output format: text or csv")
-		workers    = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
-		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget per algorithm run (0 = off); over-budget runs are marked failed, the rest of the grid completes")
-		ckptPath   = flag.String("checkpoint", "", "journal completed runs to this JSONL file")
-		resume     = flag.Bool("resume", false, "skip runs already journaled in -checkpoint")
-		traceOut   = flag.String("trace-out", "", "write span/metric events as JSONL to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		expID       = flag.String("exp", "", "experiment id (fig1..fig16, table1, table3, ablation-*)")
+		list        = flag.Bool("list", false, "list available experiments")
+		all         = flag.Bool("all", false, "run every experiment")
+		scale       = flag.Float64("scale", 0.2, "graph-size scale relative to the paper (0 < s <= 1)")
+		reps        = flag.Int("reps", 3, "noisy instances averaged per point")
+		algos       = flag.String("algos", "", "comma-separated algorithm subset (default: all nine)")
+		seed        = flag.Int64("seed", 42, "random seed")
+		verbose     = flag.Bool("v", false, "print progress lines")
+		outPath     = flag.String("out", "", "write results to this file instead of stdout")
+		budget      = flag.Duration("budget", 2*time.Minute, "per-run budget for scalability sweeps")
+		format      = flag.String("format", "text", "output format: text or csv")
+		workers     = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
+		runTimeout  = flag.Duration("run-timeout", 0, "wall-clock budget per algorithm run (0 = off); over-budget runs are marked failed, the rest of the grid completes")
+		cacheBudget = flag.String("cache-budget", "", "share per-graph artifacts (spectra, embeddings, graphlet counts) across algorithms and reps, capped at this size (e.g. 512MiB, 1GB; 0 = off); results are byte-identical either way")
+		ckptPath    = flag.String("checkpoint", "", "journal completed runs to this JSONL file")
+		resume      = flag.Bool("resume", false, "skip runs already journaled in -checkpoint")
+		traceOut    = flag.String("trace-out", "", "write span/metric events as JSONL to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -113,6 +122,13 @@ func runCLI() error {
 		}
 	}
 	opts.RunTimeout = *runTimeout
+	if *cacheBudget != "" {
+		n, err := cache.ParseBytes(*cacheBudget)
+		if err != nil {
+			return err
+		}
+		opts.CacheBudgetBytes = n
+	}
 
 	// Ctrl-C (or SIGTERM) cancels cooperatively: workers stop claiming new
 	// runs, in-flight runs return at their next iteration boundary, and the

@@ -1,0 +1,46 @@
+package graphalign_test
+
+import (
+	"testing"
+
+	"graphalign"
+	"graphalign/internal/algo"
+	"graphalign/internal/algotest"
+)
+
+// TestConformance runs the framework-level conformance suite — self-alignment
+// accuracy, node-relabeling invariance, and cache-on vs cache-off
+// byte-identity of the similarity matrix — against all nine aligners of the
+// study. Instance sizes and thresholds are per algorithm: the
+// optimal-transport and embedding methods get smaller instances (they are the
+// slow ones) and the loosest bars, mirroring the recovery thresholds each
+// algorithm's own package asserts.
+func TestConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite runs every aligner several times")
+	}
+	mk := func(name string) func() algo.Aligner {
+		return func() algo.Aligner {
+			a, err := graphalign.NewAligner(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}
+	}
+	cases := []algotest.Conformance{
+		{Name: "IsoRank", New: mk("IsoRank"), N: 80, SelfMinAcc: 0.9},
+		{Name: "GRAAL", New: mk("GRAAL"), N: 80, SelfMinAcc: 0.85},
+		{Name: "NSD", New: mk("NSD"), N: 80, SelfMinAcc: 0.85},
+		{Name: "LREA", New: mk("LREA"), N: 80, SelfMinAcc: 0.9},
+		{Name: "REGAL", New: mk("REGAL"), N: 80, SelfMinAcc: 0.8, RelabelTol: 0.25},
+		{Name: "GWL", New: mk("GWL"), N: 60, SelfMinAcc: 0.7, RelabelTol: 0.25},
+		{Name: "S-GWL", New: mk("S-GWL"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25},
+		{Name: "CONE", New: mk("CONE"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25},
+		{Name: "GRASP", New: mk("GRASP"), N: 80, SelfMinAcc: 0.85},
+	}
+	if len(cases) != len(graphalign.Algorithms()) {
+		t.Fatalf("conformance covers %d algorithms, registry has %d", len(cases), len(graphalign.Algorithms()))
+	}
+	algotest.RunConformance(t, cases)
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/matrix"
 	"graphalign/internal/obsv"
@@ -65,6 +66,25 @@ func Similarity(ctx context.Context, a Aligner, src, dst *graph.Graph) (*matrix.
 // and use it unconditionally.
 type Instrumented interface {
 	SetSpan(*obsv.Span)
+}
+
+// Cacheable is optionally implemented by aligners that can draw shared
+// per-graph artifacts (degree vectors, Laplacians, spectral decompositions,
+// embeddings) from the experiment-wide artifact cache instead of recomputing
+// them. SetCache is called by the experiment runner before Similarity; a nil
+// cache is valid and means "compute everything locally", so implementations
+// store it unconditionally — every cache helper is nil-safe. Implementations
+// must keep cached and uncached runs byte-identical: only pure functions of
+// the cache key may be memoized, and shared values must never be mutated.
+type Cacheable interface {
+	SetCache(*cache.Cache)
+}
+
+// ApplyCache hands the artifact cache to a, if a supports one. Nil-safe in c.
+func ApplyCache(a Aligner, c *cache.Cache) {
+	if ca, ok := a.(Cacheable); ok {
+		ca.SetCache(c)
+	}
 }
 
 // Align runs a full alignment: similarity followed by the requested
@@ -149,6 +169,18 @@ func DegreePrior(src, dst *graph.Graph) *matrix.Dense {
 		}
 	}
 	return e
+}
+
+// DegreePriorCached is DegreePrior drawn through the artifact cache, keyed by
+// the (src, dst) pair fingerprint. The returned matrix is shared across the
+// algorithms of a cell: treat it as READ-ONLY (clone before mutating, as
+// IsoRank does before normalizing). A nil cache computes directly.
+func DegreePriorCached(c *cache.Cache, src, dst *graph.Graph) *matrix.Dense {
+	v, _ := c.GetOrCompute(context.Background(), cache.PairKey(src, dst)+"/degprior", func() (any, int64, error) {
+		m := DegreePrior(src, dst)
+		return m, cache.DenseBytes(m), nil
+	})
+	return v.(*matrix.Dense)
 }
 
 // NormalizeSim scales a similarity matrix so entries sum to one; useful for

@@ -12,11 +12,13 @@ package cone
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"graphalign/internal/algo/nsd"
 	"graphalign/internal/algo/regal"
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/linalg"
 	"graphalign/internal/matrix"
@@ -38,7 +40,17 @@ type CONE struct {
 	// SinkhornEps and SinkhornIters configure the Wasserstein step.
 	SinkhornEps   float64
 	SinkhornIters int
+
+	// cache holds the shared artifact cache (algo.Cacheable); nil computes
+	// everything locally. The NetMF embedding — the dominant per-graph cost
+	// — is cached per (graph, Dim, Window, NegSamples), and the cache is
+	// propagated into the NSD/REGAL warm starts so their similarities are
+	// shared with standalone runs of those algorithms.
+	cache *cache.Cache
 }
+
+// SetCache implements algo.Cacheable.
+func (c *CONE) SetCache(ch *cache.Cache) { c.cache = ch }
 
 // New returns CONE with the study's tuned hyperparameters (dim=512).
 func New() *CONE {
@@ -58,8 +70,29 @@ func (c *CONE) Embed(g *graph.Graph) (*matrix.Dense, error) {
 }
 
 // EmbedCtx is Embed with cooperative cancellation checked per random-walk
-// window power and threaded into the factorization.
+// window power and threaded into the factorization. With a cache attached
+// the embedding is memoized per (graph, Dim, Window, NegSamples) — it is a
+// deterministic function of those inputs — and a private clone is returned.
 func (c *CONE) EmbedCtx(ctx context.Context, g *graph.Graph) (*matrix.Dense, error) {
+	if c.cache == nil {
+		return c.computeEmbed(ctx, g)
+	}
+	key := fmt.Sprintf("%s/coneemb/d%d/w%d/n%g", cache.GraphKey(g), c.Dim, c.Window, c.NegSamples)
+	v, err := c.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		m, err := c.computeEmbed(ctx, g)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, cache.DenseBytes(m), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*matrix.Dense).Clone(), nil
+}
+
+// computeEmbed is the uncached NetMF embedding pipeline.
+func (c *CONE) computeEmbed(ctx context.Context, g *graph.Graph) (*matrix.Dense, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, errors.New("cone: empty graph")
@@ -77,7 +110,7 @@ func (c *CONE) EmbedCtx(ctx context.Context, g *graph.Graph) (*matrix.Dense, err
 	}
 	// M = vol/(window*b) * (sum_{r=1..window} P^r) D^-1, entrywise
 	// log(max(M, 1)).
-	p := graph.RowNormalizedAdjacency(g) // D^-1 A
+	p := cache.RowNormalizedAdjacency(c.cache, g) // D^-1 A, shared: read-only
 	// Accumulate powers times D^-1 densely (n x n); CONE's own
 	// implementation does the same for exactness on benchmark-scale graphs.
 	acc := matrix.NewDense(n, n)
@@ -280,12 +313,16 @@ func (c *CONE) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matri
 // NSD and REGAL similarities, as transport-plan-shaped matrices.
 func (c *CONE) warmStarts(ctx context.Context, src, dst *graph.Graph) ([]*matrix.Dense, error) {
 	var out []*matrix.Dense
-	nsdSim, err := nsd.New().SimilarityCtx(ctx, src, dst)
+	nsdAligner := nsd.New()
+	nsdAligner.SetCache(c.cache)
+	nsdSim, err := nsdAligner.SimilarityCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, permutationPlan(assign.SolveJV(nsdSim), dst.N()))
-	regalSim, err := regal.New().SimilarityCtx(ctx, src, dst)
+	regalAligner := regal.New()
+	regalAligner.SetCache(c.cache)
+	regalSim, err := regalAligner.SimilarityCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}

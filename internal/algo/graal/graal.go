@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/graphlets"
 	"graphalign/internal/matrix"
@@ -32,6 +33,28 @@ type GRAAL struct {
 	// Alpha balances signature similarity against degree similarity; the
 	// study's grid search selects 0.8.
 	Alpha float64
+
+	// cache holds the shared artifact cache (algo.Cacheable); nil computes
+	// everything locally. Graphlet orbit counting dominates GRAAL's runtime
+	// and is a pure per-graph function, so it is the artifact cached here.
+	cache *cache.Cache
+}
+
+// SetCache implements algo.Cacheable.
+func (g *GRAAL) SetCache(c *cache.Cache) { g.cache = c }
+
+// cachedCounts draws a graph's graphlet orbit counts from the artifact
+// cache. The returned per-node vectors are shared: read-only.
+func (g *GRAAL) cachedCounts(gr *graph.Graph) graphlets.Counts {
+	v, _ := g.cache.GetOrCompute(context.Background(), cache.GraphKey(gr)+"/graphlets", func() (any, int64, error) {
+		c := graphlets.Count(gr)
+		var bytes int64
+		for _, row := range c {
+			bytes += int64(8 * len(row))
+		}
+		return c, bytes, nil
+	})
+	return v.(graphlets.Counts)
 }
 
 // New returns GRAAL with the study's tuned hyperparameter (alpha=0.8).
@@ -78,11 +101,11 @@ func (g *GRAAL) CostMatrixCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 	if src.N() == 0 || dst.N() == 0 {
 		return nil, errors.New("graal: empty graph")
 	}
-	cSrc := graphlets.Count(src)
+	cSrc := g.cachedCounts(src)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cDst := graphlets.Count(dst)
+	cDst := g.cachedCounts(dst)
 	weights := graphlets.OrbitWeights()
 	maxSum := float64(src.MaxDegree() + dst.MaxDegree())
 	if maxSum == 0 {

@@ -15,10 +15,11 @@ package grasp
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
-	"math/rand"
 
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/linalg"
 	"graphalign/internal/matrix"
@@ -46,10 +47,16 @@ type GRASP struct {
 	// span receives the inner phases of Similarity (algo.Instrumented);
 	// nil (the default) disables tracing at zero cost.
 	span *obsv.Span
+	// cache holds the shared artifact cache (algo.Cacheable); nil computes
+	// everything locally.
+	cache *cache.Cache
 }
 
 // SetSpan implements algo.Instrumented.
 func (g *GRASP) SetSpan(s *obsv.Span) { g.span = s }
+
+// SetCache implements algo.Cacheable.
+func (g *GRASP) SetCache(c *cache.Cache) { g.cache = c }
 
 // New returns GRASP with the study's tuned hyperparameters (q=100, k=20).
 func New() *GRASP {
@@ -86,16 +93,18 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 	if k < 2 {
 		return nil, errors.New("grasp: graphs too small for spectral alignment")
 	}
-	rng := rand.New(rand.NewSource(g.Seed))
-
 	sp := g.span.Phase("eigendecomposition")
 	sp.Set("k", k)
-	valsA, phiA, err := laplacianEigs(ctx, src, k, rng)
+	// Each graph's decomposition is a pure function of (graph, k, Seed) —
+	// the Lanczos starting vector comes from a per-graph RNG, never a
+	// stream shared across the two graphs — so the artifact cache can share
+	// it with other algorithms and reps without changing any output.
+	valsA, phiA, err := cache.LaplacianEigs(ctx, g.cache, src, k, g.Seed)
 	if err != nil {
 		sp.End()
 		return nil, err
 	}
-	valsB, phiB, err := laplacianEigs(ctx, dst, k, rng)
+	valsB, phiB, err := cache.LaplacianEigs(ctx, g.cache, dst, k, g.Seed)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -105,13 +114,14 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 	sp.Set("q", g.Q)
 	ts := logspace(g.TMin, g.TMax, g.Q)
 	// Corresponding functions: F[i][t] = Σ_j exp(-t λ_j) φ_j(i)² (diagonal
-	// of the heat kernel), one column per time step.
-	fA, err := heatDiagonals(ctx, valsA, phiA, ts) // n1 x q
+	// of the heat kernel), one column per time step. Cached per graph under
+	// the full spectral-signature parameter set.
+	fA, err := g.cachedHeatDiagonals(ctx, src, k, valsA, phiA, ts) // n1 x q
 	if err != nil {
 		sp.End()
 		return nil, err
 	}
-	fB, err := heatDiagonals(ctx, valsB, phiB, ts) // n2 x q
+	fB, err := g.cachedHeatDiagonals(ctx, dst, k, valsB, phiB, ts) // n2 x q
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -190,37 +200,22 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 	return sim, nil
 }
 
-// laplacianEigs returns the k smallest eigenpairs of the normalized
-// Laplacian of g. Small graphs use the dense solver for robustness; larger
-// ones use Lanczos.
-func laplacianEigs(ctx context.Context, g *graph.Graph, k int, rng *rand.Rand) ([]float64, *matrix.Dense, error) {
-	lap := graph.NormalizedLaplacian(g)
-	n := g.N()
-	if n <= 400 {
-		vals, vecs, err := linalg.SymEigenCtx(ctx, lap.ToDense())
+// cachedHeatDiagonals draws the heat-kernel diagonal matrix from the artifact
+// cache (keyed by the graph plus every parameter the signature depends on),
+// computing it on a miss. The result is shared and read-only downstream.
+func (g *GRASP) cachedHeatDiagonals(ctx context.Context, gr *graph.Graph, k int, vals []float64, phi *matrix.Dense, ts []float64) (*matrix.Dense, error) {
+	key := fmt.Sprintf("%s/heat/k%d/s%d/t%g-%g/q%d", cache.GraphKey(gr), k, g.Seed, g.TMin, g.TMax, g.Q)
+	v, err := g.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		m, err := heatDiagonals(ctx, vals, phi, ts)
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, err
 		}
-		outV := make([]float64, k)
-		outM := matrix.NewDense(n, k)
-		copy(outV, vals[:k])
-		for i := 0; i < n; i++ {
-			for j := 0; j < k; j++ {
-				outM.Set(i, j, vecs.At(i, j))
-			}
-		}
-		return outV, outM, nil
-	}
-	iters := 12*k + 100
-	return linalgLanczos(ctx, lap, k, iters, rng)
-}
-
-func linalgLanczos(ctx context.Context, lap *matrix.CSR, k, iters int, rng *rand.Rand) ([]float64, *matrix.Dense, error) {
-	vals, vecs, err := linalg.LanczosSmallestCtx(ctx, linalg.CSROp(lap), k, iters, rng)
+		return m, cache.DenseBytes(m), nil
+	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return vals, vecs, nil
+	return v.(*matrix.Dense), nil
 }
 
 // heatDiagonals returns the n x q matrix whose column t is the diagonal of

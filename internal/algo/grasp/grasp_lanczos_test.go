@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"graphalign/internal/cache"
 	"graphalign/internal/gen"
 	"graphalign/internal/graph"
 	"graphalign/internal/linalg"
@@ -17,7 +18,7 @@ func TestLanczosPathMatchesDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := gen.PowerlawCluster(450, 3, 0.3, rng)
 	k := 8
-	lv, lvec, err := laplacianEigs(context.Background(), g, k, rand.New(rand.NewSource(1)))
+	lv, lvec, err := cache.LaplacianEigs(context.Background(), nil, g, k, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

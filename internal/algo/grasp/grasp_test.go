@@ -8,6 +8,7 @@ import (
 	"graphalign/internal/algo"
 	"graphalign/internal/algotest"
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/matrix"
 )
@@ -57,8 +58,8 @@ func TestHeatDiagonalsProperties(t *testing.T) {
 	// For the full spectrum of the normalized Laplacian, trace(H_t) =
 	// sum_j exp(-t lambda_j); each diagonal entry positive.
 	g := graph.MustNew(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}})
-	// Use the dense eigensolver directly through the package helper.
-	vals, phi, err := laplacianEigs(context.Background(), g, 4, nil)
+	// Use the dense eigensolver directly through the cache helper.
+	vals, phi, err := cache.LaplacianEigs(context.Background(), nil, g, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

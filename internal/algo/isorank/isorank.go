@@ -19,6 +19,7 @@ import (
 
 	"graphalign/internal/algo"
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/matrix"
 	"graphalign/internal/obsv"
@@ -41,10 +42,16 @@ type IsoRank struct {
 	// span receives the power-iteration phase (algo.Instrumented); nil
 	// (the default) disables tracing at zero cost.
 	span *obsv.Span
+	// cache holds the shared artifact cache (algo.Cacheable); nil computes
+	// everything locally.
+	cache *cache.Cache
 }
 
 // SetSpan implements algo.Instrumented.
 func (ir *IsoRank) SetSpan(s *obsv.Span) { ir.span = s }
+
+// SetCache implements algo.Cacheable.
+func (ir *IsoRank) SetCache(c *cache.Cache) { ir.cache = c }
 
 // New returns IsoRank with the study's tuned hyperparameters
 // (alpha=0.9, 100 iterations).
@@ -73,19 +80,22 @@ func (ir *IsoRank) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*m
 	}
 	prior := ir.Prior
 	if prior == nil {
-		prior = algo.DegreePrior(src, dst)
+		prior = algo.DegreePriorCached(ir.cache, src, dst)
 	} else if prior.Rows != n || prior.Cols != m {
 		return nil, errors.New("isorank: prior shape mismatch")
 	}
 	// Normalize prior to unit mass so alpha balances comparable magnitudes.
+	// The clone also keeps the shared cached prior untouched.
 	e := prior.Clone()
 	algo.NormalizeSim(e)
 
-	aSrc := graph.Adjacency(src)                  // n x n
-	aDstNorm := graph.RowNormalizedAdjacency(dst) // m x m, D^-1 A
+	// CSR operands are only read below, so the shared cached copies are safe.
+	aSrc := cache.Adjacency(ir.cache, src)                  // n x n
+	aDstNorm := cache.RowNormalizedAdjacency(ir.cache, dst) // m x m, D^-1 A
+	degSrc := cache.Degrees(ir.cache, src)
 	invDegSrc := make([]float64, n)
 	for u := 0; u < n; u++ {
-		if d := src.Degree(u); d > 0 {
+		if d := degSrc[u]; d > 0 {
 			invDegSrc[u] = 1 / float64(d)
 		}
 	}

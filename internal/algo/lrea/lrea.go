@@ -22,6 +22,7 @@ import (
 	"errors"
 
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/matrix"
 )
@@ -42,7 +43,14 @@ type LREA struct {
 	//
 	// which is what the factored iteration uses.
 	OverlapWeight, BaselineWeight, ConflictPenalty float64
+
+	// cache holds the shared artifact cache (algo.Cacheable); nil computes
+	// everything locally.
+	cache *cache.Cache
 }
+
+// SetCache implements algo.Cacheable.
+func (l *LREA) SetCache(c *cache.Cache) { l.cache = c }
 
 // New returns LREA with the study's tuned hyperparameters (40 iterations).
 func New() *LREA {
@@ -86,8 +94,10 @@ func (l *LREA) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matri
 	c2 := sC - sN
 	c3 := sN
 
-	aSrc := graph.Adjacency(src)
-	aDst := graph.Adjacency(dst)
+	// The CSR adjacencies are only read (MulVec), so the shared cached
+	// copies are safe here.
+	aSrc := cache.Adjacency(l.cache, src)
+	aDst := cache.Adjacency(l.cache, dst)
 
 	// X_0 = uniform rank-one start.
 	x := factored{}

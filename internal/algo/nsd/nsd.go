@@ -9,11 +9,13 @@ package nsd
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"graphalign/internal/algo"
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/linalg"
 	"graphalign/internal/matrix"
@@ -28,7 +30,17 @@ type NSD struct {
 	// Components is the number s of rank-one components drawn from the
 	// prior's SVD. With a degree prior the first components dominate.
 	Components int
+
+	// cache holds the shared artifact cache (algo.Cacheable); nil computes
+	// everything locally. NSD's whole similarity matrix is a deterministic
+	// function of (src, dst, Alpha, Iters, Components) — the SVD RNG is
+	// fixed-seeded — so the full result is cached per pair, which also lets
+	// CONE's NSD warm start share it.
+	cache *cache.Cache
 }
+
+// SetCache implements algo.Cacheable.
+func (n *NSD) SetCache(c *cache.Cache) { n.cache = c }
 
 // New returns NSD with the study's tuned hyperparameters.
 func New() *NSD {
@@ -54,8 +66,29 @@ func (n *NSD) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 }
 
 // SimilarityCtx implements algo.ContextAligner; ctx is threaded into the
-// prior's truncated SVD and checked once per power-series term.
+// prior's truncated SVD and checked once per power-series term. With a
+// cache attached the whole similarity matrix is memoized per (pair, params)
+// and a private clone is returned, so callers stay free to mutate it.
 func (n *NSD) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	if n.cache == nil {
+		return n.computeSimilarity(ctx, src, dst)
+	}
+	key := fmt.Sprintf("%s/nsdsim/a%g/i%d/c%d", cache.PairKey(src, dst), n.Alpha, n.Iters, n.Components)
+	v, err := n.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		m, err := n.computeSimilarity(ctx, src, dst)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, cache.DenseBytes(m), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*matrix.Dense).Clone(), nil
+}
+
+// computeSimilarity is the uncached NSD pipeline.
+func (n *NSD) computeSimilarity(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	ns, nd := src.N(), dst.N()
 	if ns == 0 || nd == 0 {
 		return nil, errors.New("nsd: empty graph")
@@ -69,7 +102,7 @@ func (n *NSD) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix
 		comps = 1
 	}
 
-	prior := algo.DegreePrior(src, dst) // ns x nd
+	prior := algo.DegreePriorCached(n.cache, src, dst) // ns x nd, shared: read-only
 	// Top-s SVD of the prior gives the component vectors: prior ≈
 	// Σ s_i u_i v_iᵀ, so z_i = sqrt(s_i) u_i (source side) and w_i =
 	// sqrt(s_i) v_i (target side). The prior's spectrum decays fast, so the
@@ -84,8 +117,8 @@ func (n *NSD) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix
 		return nil, errors.New("nsd: degenerate prior")
 	}
 
-	tSrc := graph.RowNormalizedAdjacency(src)
-	tDst := graph.RowNormalizedAdjacency(dst)
+	tSrc := cache.RowNormalizedAdjacency(n.cache, src)
+	tDst := cache.RowNormalizedAdjacency(n.cache, dst)
 
 	sim := matrix.NewDense(ns, nd)
 	alpha := n.Alpha

@@ -12,10 +12,12 @@ package regal
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/graph"
 	"graphalign/internal/linalg"
 	"graphalign/internal/matrix"
@@ -35,7 +37,17 @@ type REGAL struct {
 	LandmarksFactor float64
 	// Seed drives landmark sampling.
 	Seed int64
+
+	// cache holds the shared artifact cache (algo.Cacheable); nil computes
+	// everything locally. REGAL's embedding is joint over the (src, dst)
+	// pair (shared landmarks), so the whole similarity matrix — a
+	// deterministic function of (pair, params) — is the cached unit; this
+	// also lets CONE's REGAL warm start share it.
+	cache *cache.Cache
 }
+
+// SetCache implements algo.Cacheable.
+func (r *REGAL) SetCache(c *cache.Cache) { r.cache = c }
 
 // New returns REGAL with the study's tuned hyperparameters (k=2,
 // p = 10 log n).
@@ -165,8 +177,29 @@ func (r *REGAL) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	return r.SimilarityCtx(context.Background(), src, dst)
 }
 
-// SimilarityCtx implements algo.ContextAligner.
+// SimilarityCtx implements algo.ContextAligner. With a cache attached the
+// whole similarity matrix is memoized per (pair, params) and a private clone
+// is returned, so callers stay free to mutate it.
 func (r *REGAL) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	if r.cache == nil {
+		return r.computeSimilarity(ctx, src, dst)
+	}
+	key := fmt.Sprintf("%s/regalsim/k%d/d%g/g%g/l%g/s%d", cache.PairKey(src, dst), r.K, r.Delta, r.GammaStruc, r.LandmarksFactor, r.Seed)
+	v, err := r.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		m, err := r.computeSimilarity(ctx, src, dst)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, cache.DenseBytes(m), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*matrix.Dense).Clone(), nil
+}
+
+// computeSimilarity is the uncached REGAL pipeline.
+func (r *REGAL) computeSimilarity(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
 	ySrc, yDst, err := r.EmbedCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,143 @@
+package algotest
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphalign/internal/algo"
+	"graphalign/internal/assign"
+	"graphalign/internal/cache"
+	"graphalign/internal/graph"
+	"graphalign/internal/metrics"
+	"graphalign/internal/noise"
+)
+
+// Conformance describes one aligner's entry in the cross-algorithm
+// conformance suite (see RunConformance). N sizes the test instances —
+// smaller for the expensive optimal-transport and embedding methods — and
+// the thresholds encode how sharply each method recovers structure, matching
+// the per-algorithm recovery bars the individual packages assert.
+type Conformance struct {
+	// Name labels the subtests.
+	Name string
+	// New builds a fresh aligner with default hyperparameters.
+	New func() algo.Aligner
+	// N is the instance size used by every check.
+	N int
+	// SelfMinAcc is the minimum accuracy required when aligning a graph
+	// with itself (ground truth: identity).
+	SelfMinAcc float64
+	// RelabelTol bounds how much accuracy may change when the target's
+	// nodes are relabeled by a random permutation. Zero means the strict
+	// default of 0.15 — relabeling changes float summation orders, so exact
+	// equality is not required, but the structural outcome must hold.
+	RelabelTol float64
+}
+
+// RunConformance runs the three framework-level contracts every aligner
+// must satisfy — self-alignment, relabeling invariance, and cache
+// byte-identity — as subtests of t.
+func RunConformance(t *testing.T, cases []Conformance) {
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name+"/self_alignment", func(t *testing.T) {
+			t.Parallel()
+			CheckSelfAlignment(t, c.New(), c.N, c.SelfMinAcc)
+		})
+		t.Run(c.Name+"/relabel_invariance", func(t *testing.T) {
+			t.Parallel()
+			tol := c.RelabelTol
+			if tol == 0 {
+				tol = 0.15
+			}
+			CheckRelabelInvariance(t, c.New, c.N, tol)
+		})
+		t.Run(c.Name+"/cache_byte_identity", func(t *testing.T) {
+			t.Parallel()
+			CheckCacheByteIdentity(t, c.New, c.N)
+		})
+	}
+}
+
+// CheckSelfAlignment asserts that aligning a graph with itself recovers an
+// identity-dominant mapping: accuracy against the identity ground truth of
+// at least minAcc. Automorphisms make a perfect score impossible in general
+// (symmetric nodes are interchangeable), which is why thresholds sit below 1.
+func CheckSelfAlignment(t *testing.T, a algo.Aligner, n int, minAcc float64) {
+	t.Helper()
+	base := Pair(t, n, 0, 4242).Source
+	identity := make([]int, base.N())
+	for i := range identity {
+		identity[i] = i
+	}
+	mapping, err := algo.Align(a, base, base, assign.JonkerVolgenant)
+	if err != nil {
+		t.Fatalf("%s: self-alignment failed: %v", a.Name(), err)
+	}
+	if acc := metrics.Accuracy(mapping, identity); acc < minAcc {
+		t.Errorf("%s: self-alignment accuracy %.3f < %.3f", a.Name(), acc, minAcc)
+	}
+}
+
+// CheckRelabelInvariance asserts the aligner's quality does not depend on
+// how the target's nodes happen to be numbered: relabeling the target by a
+// random permutation (with the ground truth composed accordingly) must keep
+// accuracy within tol. Exact similarity equality is deliberately not
+// required — relabeling reorders float summations — but the structural
+// outcome may not hinge on node numbering.
+func CheckRelabelInvariance(t *testing.T, mk func() algo.Aligner, n int, tol float64) {
+	t.Helper()
+	p := Pair(t, n, 0.02, 31337)
+	accBase := Accuracy(t, mk(), p, assign.JonkerVolgenant)
+
+	rng := rand.New(rand.NewSource(271828))
+	perm := graph.RandomPermutation(p.Target.N(), rng)
+	relabeled, err := graph.Permute(p.Target, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed := make([]int, len(p.TrueMap))
+	for u, v := range p.TrueMap {
+		composed[u] = perm[v]
+	}
+	q := noise.Pair{Source: p.Source, Target: relabeled, TrueMap: composed}
+	accRelabel := Accuracy(t, mk(), q, assign.JonkerVolgenant)
+
+	if d := accBase - accRelabel; d > tol || -d > tol {
+		t.Errorf("accuracy moved %.3f -> %.3f under relabeling (tol %.2f)", accBase, accRelabel, tol)
+	}
+}
+
+// CheckCacheByteIdentity asserts the tentpole cache contract at the aligner
+// level: the similarity matrix computed with no cache, with a cold cache,
+// and with a warm cache (every artifact a hit) are byte-identical. Aligners
+// that do not implement algo.Cacheable still pass — for them this reduces
+// to a determinism check.
+func CheckCacheByteIdentity(t *testing.T, mk func() algo.Aligner, n int) {
+	t.Helper()
+	p := Pair(t, n, 0.02, 99991)
+
+	uncached, err := mk().Similarity(p.Source, p.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := cache.New(0)
+	for pass, label := range []string{"cold cache", "warm cache"} {
+		a := mk()
+		algo.ApplyCache(a, c)
+		got, err := a.Similarity(p.Source, p.Target)
+		if err != nil {
+			t.Fatalf("%s (pass %d): %v", label, pass, err)
+		}
+		if got.Rows != uncached.Rows || got.Cols != uncached.Cols {
+			t.Fatalf("%s: shape %dx%d vs uncached %dx%d", label, got.Rows, got.Cols, uncached.Rows, uncached.Cols)
+		}
+		for i := range uncached.Data {
+			if got.Data[i] != uncached.Data[i] {
+				t.Fatalf("%s: similarity differs from uncached at index %d: %v vs %v",
+					label, i, got.Data[i], uncached.Data[i])
+			}
+		}
+	}
+}

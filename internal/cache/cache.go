@@ -1,0 +1,249 @@
+// Package cache provides the shared per-graph artifact cache of the
+// experiment runner. Every cell of the benchmark grid runs all nine aligners
+// on the same (G, G') pair, yet each algorithm independently recomputes
+// identical per-graph artifacts — degree vectors, normalized Laplacians,
+// spectral decompositions, embeddings. This cache memoizes those artifacts
+// across algorithms (and across the reps and sweep points that reuse a
+// graph), keyed by a structural fingerprint of the graph plus the artifact's
+// parameters.
+//
+// Design constraints (see DESIGN.md §10):
+//
+//   - Determinism: a cached artifact is the bitwise-identical value the
+//     consumer would have computed itself, so experiment output is
+//     byte-identical with the cache on or off. Compute closures must
+//     therefore be pure functions of their key.
+//   - Immutability: cached values are shared across goroutines; consumers
+//     must treat them as read-only (clone before mutating).
+//   - Single-flight: when several workers need the same missing artifact,
+//     one computes it and the others wait; errors are never cached, so a
+//     failed or cancelled leader hands the computation to the next waiter.
+//   - Bounded: total bytes are capped by an LRU eviction policy, so long
+//     sweeps cannot grow memory without bound.
+//
+// A nil *Cache is valid and disabled: every helper computes directly.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"graphalign/internal/obsv"
+)
+
+// Cache is a concurrency-safe, bounded, keyed artifact store with
+// single-flight deduplication. Construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64 // <= 0 means unbounded
+	bytes   int64
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; holds *entry
+
+	// Instruments are resolved lazily from reg (nil-safe no-ops without a
+	// registry).
+	reg *obsv.Registry
+}
+
+// entry is one cached (or in-flight) artifact.
+type entry struct {
+	key   string
+	ready chan struct{} // closed when value/failed are final
+	value any
+	bytes int64
+	// failed marks a compute that returned an error; the entry is already
+	// unlinked and waiters must retry.
+	failed bool
+	elem   *list.Element // nil while in flight or after eviction
+}
+
+// New returns an empty cache bounded to budgetBytes of stored artifact
+// payload (estimated by the compute closures). A budget <= 0 means
+// unbounded.
+func New(budgetBytes int64) *Cache {
+	return &Cache{
+		budget:  budgetBytes,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+}
+
+// SetRegistry attaches an observability registry; the cache then maintains
+// cache_hits_total, cache_misses_total, cache_waits_total,
+// cache_evictions_total counters and cache_bytes / cache_entries gauges.
+// Nil-safe in both receiver and argument.
+func (c *Cache) SetRegistry(reg *obsv.Registry) *Cache {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.reg = reg
+	c.mu.Unlock()
+	return c
+}
+
+// counter fetches a registry counter; both the cache's registry and the
+// returned counter are nil-safe.
+func (c *Cache) counter(name string) *obsv.Counter { return c.reg.Counter(name) }
+
+// publishGauges refreshes the byte/entry gauges; callers hold c.mu.
+func (c *Cache) publishGauges() {
+	c.reg.Gauge("cache_bytes").Set(float64(c.bytes))
+	c.reg.Gauge("cache_entries").Set(float64(c.lru.Len()))
+}
+
+// GetOrCompute returns the artifact stored under key, computing it with
+// compute on a miss. compute must be a pure function of the key: it returns
+// the value, an estimate of its payload size in bytes (used for the LRU
+// budget), and an error. Concurrent callers of the same key are deduplicated:
+// one runs compute, the rest wait for it (or for their own ctx to be done).
+// Errors are returned to the caller but never cached.
+//
+// A nil cache calls compute directly.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (any, int64, error)) (any, error) {
+	if c == nil {
+		v, _, err := compute()
+		return v, err
+	}
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.ready:
+				// Finished entry: a hit, unless the leader failed and we
+				// raced its cleanup (then the map holds a fresh entry and we
+				// would not be here — failed entries are unlinked first).
+				if e.elem != nil {
+					c.lru.MoveToFront(e.elem)
+				}
+				c.mu.Unlock()
+				c.counter("cache_hits_total").Add(1)
+				return e.value, nil
+			default:
+			}
+			c.mu.Unlock()
+			// In flight: wait for the leader, then re-examine. If the leader
+			// failed, the retry loop makes this caller the next leader.
+			c.counter("cache_waits_total").Add(1)
+			select {
+			case <-e.ready:
+				if !e.failed {
+					c.counter("cache_hits_total").Add(1)
+					return e.value, nil
+				}
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		// Miss: become the leader.
+		e := &entry{key: key, ready: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+		c.counter("cache_misses_total").Add(1)
+
+		v, bytes, err := compute()
+		c.mu.Lock()
+		if err != nil {
+			// Never cache errors: unlink so the next caller recomputes, then
+			// wake waiters (who will retry).
+			e.failed = true
+			delete(c.entries, key)
+			close(e.ready)
+			c.mu.Unlock()
+			return nil, err
+		}
+		e.value = v
+		e.bytes = bytes
+		e.elem = c.lru.PushFront(e)
+		c.bytes += bytes
+		close(e.ready)
+		c.evictLocked()
+		c.publishGauges()
+		c.mu.Unlock()
+		return v, nil
+	}
+}
+
+// evictLocked drops least-recently-used finished entries until the byte
+// budget is met. In-flight entries are not in the LRU list and are never
+// evicted. The entry at the front (the one just inserted) may itself be
+// evicted when it alone exceeds the budget — its value has already been
+// handed to the caller, it just will not be reused.
+func (c *Cache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.counter("cache_evictions_total").Add(1)
+	}
+}
+
+// Len returns the number of finished entries currently cached.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes returns the estimated payload bytes currently cached.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// ParseBytes parses a human-friendly byte size: a plain integer is bytes;
+// suffixes KB/MB/GB (decimal) and KiB/MiB/GiB (binary) are accepted, case-
+// insensitively, with an optional trailing "B" ("64M" == "64MB"). Used by
+// the alignbench -cache-budget flag.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("cache: empty size")
+	}
+	upper := strings.ToUpper(t)
+	mult := int64(1)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			upper = strings.TrimSuffix(upper, suf.name)
+			mult = suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cache: bad size %q: %w", s, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("cache: negative size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,371 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"graphalign/internal/graph"
+	"graphalign/internal/obsv"
+)
+
+func TestNilCacheComputesDirectly(t *testing.T) {
+	var c *Cache
+	v, err := c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+		return 7, 8, nil
+	})
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("nil cache: got %v, %v", v, err)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("nil cache must report empty")
+	}
+}
+
+func TestHitMissAndCounters(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := New(0).SetRegistry(reg)
+	calls := 0
+	get := func(key string) int {
+		v, err := c.GetOrCompute(context.Background(), key, func() (any, int64, error) {
+			calls++
+			return calls, 8, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.(int)
+	}
+	if get("a") != 1 || get("a") != 1 || get("b") != 2 || get("a") != 1 {
+		t.Fatalf("memoization broken after %d calls", calls)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+	if c.Len() != 2 || c.Bytes() != 16 {
+		t.Fatalf("len=%d bytes=%d, want 2/16", c.Len(), c.Bytes())
+	}
+	if h := reg.Counter("cache_hits_total").Value(); h != 2 {
+		t.Errorf("hits counter = %v, want 2", h)
+	}
+	if m := reg.Counter("cache_misses_total").Value(); m != 2 {
+		t.Errorf("misses counter = %v, want 2", m)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := New(30).SetRegistry(reg) // holds three 10-byte entries
+	get := func(key string) {
+		if _, err := c.GetOrCompute(context.Background(), key, func() (any, int64, error) {
+			return key, 10, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("c")
+	get("a") // refresh a: LRU order now b, c, a
+	get("d") // evicts b
+	if c.Len() != 3 {
+		t.Fatalf("len=%d, want 3", c.Len())
+	}
+	misses := reg.Counter("cache_misses_total").Value()
+	get("b") // must recompute
+	if reg.Counter("cache_misses_total").Value() != misses+1 {
+		t.Error("evicted entry was still served")
+	}
+	// a survived the b eviction (it was refreshed).
+	hits := reg.Counter("cache_hits_total").Value()
+	get("a")
+	if reg.Counter("cache_hits_total").Value() != hits+1 {
+		t.Error("refreshed entry was evicted out of LRU order")
+	}
+	if ev := reg.Counter("cache_evictions_total").Value(); ev < 1 {
+		t.Errorf("evictions counter = %v, want >= 1", ev)
+	}
+	if c.Bytes() > 30 {
+		t.Errorf("bytes=%d exceeds budget 30", c.Bytes())
+	}
+}
+
+func TestOversizedEntryStillReturned(t *testing.T) {
+	c := New(5)
+	v, err := c.GetOrCompute(context.Background(), "big", func() (any, int64, error) {
+		return "value", 100, nil
+	})
+	if err != nil || v.(string) != "value" {
+		t.Fatalf("oversized entry: %v, %v", v, err)
+	}
+	if c.Bytes() > 5 {
+		t.Errorf("bytes=%d exceeds budget after oversized insert", c.Bytes())
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	calls := 0
+	compute := func() (any, int64, error) {
+		calls++
+		if calls == 1 {
+			return nil, 0, boom
+		}
+		return "ok", 2, nil
+	}
+	if _, err := c.GetOrCompute(context.Background(), "k", compute); !errors.Is(err, boom) {
+		t.Fatalf("first call: %v, want boom", err)
+	}
+	v, err := c.GetOrCompute(context.Background(), "k", compute)
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("second call must recompute: %v, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+}
+
+// TestSingleFlight checks that concurrent callers of one missing key run the
+// compute exactly once and all receive its value.
+func TestSingleFlight(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const workers = 16
+	results := make([]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, err := c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+				calls.Add(1)
+				<-release // hold every sibling in the wait path
+				return "shared", 6, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[w] = v
+		}(w)
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for w, v := range results {
+		if v != "shared" {
+			t.Fatalf("worker %d got %v", w, v)
+		}
+	}
+}
+
+// TestSingleFlightLeaderFails checks that a failing leader hands the
+// computation to a waiter instead of caching the error.
+func TestSingleFlightLeaderFails(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	const workers = 8
+	errsCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+				if calls.Add(1) == 1 {
+					return nil, 0, boom
+				}
+				return "ok", 2, nil
+			})
+			errsCh <- err
+		}()
+	}
+	wg.Wait()
+	close(errsCh)
+	var failures int
+	for err := range errsCh {
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failures++
+		}
+	}
+	// Exactly the first leader observes the error; everyone else retries
+	// into the recomputed success.
+	if failures != 1 {
+		t.Fatalf("%d callers saw the error, want 1", failures)
+	}
+}
+
+func TestWaiterContextCancellation(t *testing.T) {
+	c := New(0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _ = c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+			close(started)
+			<-release
+			return "v", 1, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.GetOrCompute(ctx, "k", func() (any, int64, error) {
+		t.Error("waiter must not compute")
+		return nil, 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(200)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%13)
+				v, err := c.GetOrCompute(context.Background(), key, func() (any, int64, error) {
+					return key, 16, nil
+				})
+				if err != nil || v.(string) != key {
+					t.Errorf("key %s: %v, %v", key, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Bytes() > 200 {
+		t.Errorf("bytes=%d exceeds budget", c.Bytes())
+	}
+}
+
+func TestFingerprintDistinguishesGraphs(t *testing.T) {
+	g1 := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g2 := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+	g3 := graph.MustNew(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	h1a, l1a := Fingerprint(g1)
+	h2, l2 := Fingerprint(g2)
+	h3, l3 := Fingerprint(g3)
+	if h1a == h2 && l1a == l2 {
+		t.Error("distinct graphs share a fingerprint")
+	}
+	if h1a != h3 || l1a != l3 {
+		t.Error("equal graphs must share a fingerprint")
+	}
+	if GraphKey(g1) == GraphKey(g2) {
+		t.Error("distinct graphs share a key")
+	}
+	if GraphKey(g1) != GraphKey(g3) {
+		t.Error("equal graphs must share a key")
+	}
+	if PairKey(g1, g2) == PairKey(g2, g1) {
+		t.Error("PairKey must be ordered")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"123", 123, true},
+		{"1KB", 1000, true},
+		{"1KiB", 1024, true},
+		{"64M", 64 << 20, true},
+		{"64MB", 64 * 1000 * 1000, true},
+		{"512MiB", 512 << 20, true},
+		{"1G", 1 << 30, true},
+		{"2GiB", 2 << 30, true},
+		{" 10 kib ", 10 << 10, true},
+		{"100B", 100, true},
+		{"0", 0, true},
+		{"", 0, false},
+		{"-5", 0, false},
+		{"12XB", 0, false},
+		{"MB", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseBytes(%q) succeeded with %d, want error", tc.in, got)
+		}
+	}
+}
+
+func TestArtifactHelpersNilSafe(t *testing.T) {
+	g := graph.MustNew(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	if d := Degrees(nil, g); len(d) != 4 || d[1] != 2 {
+		t.Errorf("Degrees(nil): %v", d)
+	}
+	if m := Adjacency(nil, g); m.NumRows != 4 {
+		t.Error("Adjacency(nil) wrong shape")
+	}
+	if m := RowNormalizedAdjacency(nil, g); m.NumRows != 4 {
+		t.Error("RowNormalizedAdjacency(nil) wrong shape")
+	}
+	if m := NormalizedLaplacian(nil, g); m.NumRows != 4 {
+		t.Error("NormalizedLaplacian(nil) wrong shape")
+	}
+	vals, vecs, err := LaplacianEigs(context.Background(), nil, g, 2, 1)
+	if err != nil || len(vals) != 2 || vecs.Rows != 4 || vecs.Cols != 2 {
+		t.Errorf("LaplacianEigs(nil): %v %v %v", vals, vecs, err)
+	}
+}
+
+// TestArtifactsIdenticalCachedAndUncached is the package-level byte-identity
+// check: every artifact drawn through a cache equals the directly computed
+// one exactly.
+func TestArtifactsIdenticalCachedAndUncached(t *testing.T) {
+	g := graph.MustNew(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 0}, {U: 0, V: 3},
+	})
+	c := New(0)
+	for i := 0; i < 2; i++ { // second pass exercises the hit path
+		d1, d2 := Degrees(c, g), Degrees(nil, g)
+		for j := range d2 {
+			if d1[j] != d2[j] {
+				t.Fatal("degrees differ")
+			}
+		}
+		a1, a2 := Adjacency(c, g), Adjacency(nil, g)
+		for j := range a2.Val {
+			if a1.Val[j] != a2.Val[j] || a1.ColIdx[j] != a2.ColIdx[j] {
+				t.Fatal("adjacency differs")
+			}
+		}
+		v1, m1, err1 := LaplacianEigs(context.Background(), c, g, 3, 7)
+		v2, m2, err2 := LaplacianEigs(context.Background(), nil, g, 3, 7)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for j := range v2 {
+			if v1[j] != v2[j] {
+				t.Fatal("eigenvalues differ")
+			}
+		}
+		for j := range m2.Data {
+			if m1.Data[j] != m2.Data[j] {
+				t.Fatal("eigenvectors differ")
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"fmt"
+
+	"graphalign/internal/graph"
+)
+
+// fnv-1a constants, plus a second offset basis for the independent second
+// hash lane (Fingerprint concatenates two 64-bit lanes so that a collision
+// requires both to collide, making accidental artifact mixups between two
+// distinct graphs astronomically unlikely).
+const (
+	fnvOffset  = 14695981039346656037
+	fnvOffset2 = fnvOffset ^ 0x9e3779b97f4a7c15
+	fnvPrime   = 1099511628211
+)
+
+// Fingerprint returns a 128-bit structural hash of g as two 64-bit lanes,
+// covering the node count and the full sorted adjacency structure. Equal
+// graphs (same node ids, same edges) always produce equal fingerprints.
+func Fingerprint(g *graph.Graph) (hi, lo uint64) {
+	h1 := uint64(fnvOffset)
+	h2 := uint64(fnvOffset2)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			b := (x >> s) & 0xff
+			h1 = (h1 ^ b) * fnvPrime
+			h2 = (h2 ^ (b + 0x9e)) * fnvPrime
+		}
+	}
+	n := g.N()
+	mix(uint64(n))
+	for u := 0; u < n; u++ {
+		row := g.Neighbors(u)
+		mix(uint64(len(row)))
+		for _, v := range row {
+			mix(uint64(v))
+		}
+	}
+	return h1, h2
+}
+
+// GraphKey returns the cache key prefix identifying one graph: its
+// fingerprint plus the (n, m) dimensions spelled out for debuggability.
+func GraphKey(g *graph.Graph) string {
+	hi, lo := Fingerprint(g)
+	return fmt.Sprintf("g%016x%016x/n%d/m%d", hi, lo, g.N(), g.M())
+}
+
+// PairKey returns the cache key prefix identifying an ordered (src, dst)
+// graph pair, for artifacts that depend on both sides (degree priors, whole
+// similarity matrices).
+func PairKey(src, dst *graph.Graph) string {
+	return GraphKey(src) + "|" + GraphKey(dst)
+}

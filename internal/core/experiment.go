@@ -11,6 +11,7 @@ import (
 
 	"graphalign/internal/algo"
 	"graphalign/internal/assign"
+	"graphalign/internal/cache"
 	"graphalign/internal/data"
 	"graphalign/internal/graph"
 	"graphalign/internal/noise"
@@ -86,6 +87,18 @@ type Options struct {
 	// them, making interrupted experiments resumable with byte-identical
 	// output. See OpenCheckpoint.
 	Checkpoint *Checkpoint
+	// Cache, when non-nil, shares per-graph artifacts (degree vectors,
+	// Laplacians, spectral decompositions, embeddings, graphlet counts)
+	// across the algorithms, reps, and sweep points of the run. Caching
+	// never alters results: cached artifacts are bitwise the values each
+	// aligner would compute itself, so output tables, checkpoints, and CSVs
+	// are byte-identical with the cache on or off (see DESIGN.md §10). Off
+	// by default.
+	Cache *cache.Cache
+	// CacheBudgetBytes, when positive, makes RunExperiment create a cache
+	// of that byte budget if Cache is nil — the knob behind alignbench's
+	// -cache-budget flag. Ignored when Cache is already set.
+	CacheBudgetBytes int64
 
 	// expID is the running experiment's id, set by RunExperiment so that
 	// checkpoint records are keyed per experiment. Experiments invoked
@@ -294,6 +307,12 @@ func RunExperiment(id string, opts Options) (*Table, error) {
 	}
 	opts.obs = &obsState{start: time.Now()}
 	opts.expID = id
+	if opts.Cache == nil && opts.CacheBudgetBytes > 0 {
+		opts.Cache = cache.New(opts.CacheBudgetBytes)
+	}
+	if opts.Tracer != nil {
+		opts.Cache.SetRegistry(opts.Tracer.Registry())
+	}
 	opts.Tracer.Emit("experiment_start", id, map[string]any{"title": e.Title})
 	start := time.Now()
 	table, runErr := e.Run(opts)
@@ -399,11 +418,15 @@ func runInstances(opts Options, cell, label string, build func(i int) (algo.Alig
 			return
 		}
 		a, err := build(i)
-		if err != nil {
+		switch {
+		case err != nil:
 			runs[i] = RunResult{Err: err}
-		} else if opts.MemProfile {
+		case opts.MemProfile:
+			// Deliberately no cache in profiled mode: AllocBytes measures one
+			// algorithm's own footprint, which shared artifacts would distort.
 			runs[i] = runInstanceProfiled(ctx, a, pairs[i], method, opts.Tracer, opts.RunTimeout)
-		} else {
+		default:
+			algo.ApplyCache(a, opts.Cache)
 			runs[i] = RunInstanceCtx(ctx, a, pairs[i], method, opts.Tracer, opts.RunTimeout)
 		}
 		// A run cut short by grid-wide cancellation (as opposed to its own

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphalign/internal/algo"
+	"graphalign/internal/algo/lrea"
+	"graphalign/internal/algo/nsd"
+	"graphalign/internal/cache"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fixtures from current output")
+
+// goldenOptions is the pinned configuration of the golden regression grid:
+// a small two-algorithm fig10 run whose full CSV output is committed as a
+// fixture. fig10 is used because its value columns are all quality scores
+// (accuracy, mnc, s3) — no wall-clock columns — so the CSV is byte-stable
+// across machines.
+func goldenOptions() Options {
+	factory := func(name string) (algo.Aligner, error) {
+		switch name {
+		case "NSD":
+			return nsd.New(), nil
+		case "LREA":
+			return lrea.New(), nil
+		}
+		return nil, fmt.Errorf("golden factory: unknown algorithm %q", name)
+	}
+	opts := DefaultOptions(factory)
+	opts.Scale = 0.05
+	opts.Reps = 1
+	opts.Seed = 42
+	opts.Workers = 2
+	opts.MaxNodes = 120
+	opts.Algorithms = []string{"NSD", "LREA"}
+	return opts
+}
+
+func renderGolden(t *testing.T, opts Options) []byte {
+	t.Helper()
+	table, err := RunExperiment("fig10", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := table.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenFig10 regenerates the pinned-seed golden grid and fails on any
+// byte difference from the committed fixture. A diff means an algorithm,
+// the noise model, the seed derivation, or the CSV renderer changed
+// behavior; if the change is intentional, regenerate the fixture with
+//
+//	go test ./internal/core -run TestGoldenFig10 -update-golden
+//
+// and commit the result alongside the change that explains it.
+func TestGoldenFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden grid runs two algorithms over three datasets")
+	}
+	got := renderGolden(t, goldenOptions())
+	path := filepath.Join("testdata", "golden_fig10.csv")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixture rewritten: %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden output drifted from %s\n--- want (%d bytes)\n%s\n--- got (%d bytes)\n%s",
+			path, len(want), want, len(got), got)
+	}
+}
+
+// TestGoldenFig10CachedByteIdentical reruns the golden grid with the
+// artifact cache enabled — both unbounded and via the CacheBudgetBytes knob
+// RunExperiment wires up — and requires CSV output byte-identical to the
+// committed fixture, proving the tentpole contract end-to-end: caching never
+// changes results.
+func TestGoldenFig10CachedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden grid runs two algorithms over three datasets")
+	}
+	path := filepath.Join("testdata", "golden_fig10.csv")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update-golden): %v", err)
+	}
+
+	withCache := goldenOptions()
+	withCache.Cache = cache.New(0)
+	if got := renderGolden(t, withCache); !bytes.Equal(got, want) {
+		t.Fatalf("cache-on output differs from cache-off fixture\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if withCache.Cache.Len() == 0 {
+		t.Fatal("cache unused: the aligners never drew artifacts through it")
+	}
+
+	withBudget := goldenOptions()
+	withBudget.CacheBudgetBytes = 8 << 20
+	if got := renderGolden(t, withBudget); !bytes.Equal(got, want) {
+		t.Fatal("CacheBudgetBytes run differs from cache-off fixture")
+	}
+}

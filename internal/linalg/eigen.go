@@ -56,6 +56,27 @@ func SymEigenCtx(ctx context.Context, a *matrix.Dense) (vals []float64, vecs *ma
 	return vals, vecs, nil
 }
 
+// TruncateEigenpairs copies the k leading eigenpairs out of a full
+// decomposition (vals ascending, vecs column-wise, as SymEigen returns
+// them) into freshly allocated storage, so a truncated spectrum can be
+// retained — e.g. in the artifact cache — without pinning the full n x n
+// eigenvector matrix. k is clamped to len(vals).
+func TruncateEigenpairs(vals []float64, vecs *matrix.Dense, k int) ([]float64, *matrix.Dense) {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	if k < 0 {
+		k = 0
+	}
+	outV := make([]float64, k)
+	copy(outV, vals[:k])
+	outM := matrix.NewDense(vecs.Rows, k)
+	for i := 0; i < vecs.Rows; i++ {
+		copy(outM.Row(i), vecs.Row(i)[:k])
+	}
+	return outV, outM
+}
+
 // tred2 reduces the symmetric matrix stored in z to tridiagonal form by
 // Householder transformations, accumulating the orthogonal transform in z.
 // On exit, d holds the diagonal and e the subdiagonal (e[0] unused).
