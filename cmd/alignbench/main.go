@@ -30,12 +30,19 @@
 // where the interrupted invocation left off, reproducing byte-identical
 // output.
 //
-// Performance (off by default; never changes results):
+// Performance (off by default):
 //
 //	-cache-budget 512MiB   share per-graph artifacts (spectra, embeddings,
 //	                       graphlet counts) across the algorithms and reps of
 //	                       a run, LRU-bounded to the given size; output is
 //	                       byte-identical with the cache on or off
+//	-assign-topk 10        sparse assignment: reduce each similarity to
+//	                       per-row top-k candidates (k-NN over embeddings for
+//	                       REGAL/CONE/GRASP) and solve with sparse NN/SG or
+//	                       the ε-scaling auction instead of dense JV/MWM —
+//	                       the one performance knob that can change results
+//	                       (deterministically; see DESIGN.md §11). 0 = off,
+//	                       byte-identical to the dense pipeline.
 //
 // Observability (all off by default; none of these affect the results):
 //
@@ -92,6 +99,7 @@ func runCLI() error {
 		workers     = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
 		runTimeout  = flag.Duration("run-timeout", 0, "wall-clock budget per algorithm run (0 = off); over-budget runs are marked failed, the rest of the grid completes")
 		cacheBudget = flag.String("cache-budget", "", "share per-graph artifacts (spectra, embeddings, graphlet counts) across algorithms and reps, capped at this size (e.g. 512MiB, 1GB; 0 = off); results are byte-identical either way")
+		assignTopK  = flag.Int("assign-topk", 0, "sparse assignment pipeline: per-row top-k candidate generation + sparse solvers (auction for JV/MWM); 0 = off (dense, byte-identical to default)")
 		ckptPath    = flag.String("checkpoint", "", "journal completed runs to this JSONL file")
 		resume      = flag.Bool("resume", false, "skip runs already journaled in -checkpoint")
 		traceOut    = flag.String("trace-out", "", "write span/metric events as JSONL to this file")
@@ -122,6 +130,7 @@ func runCLI() error {
 		}
 	}
 	opts.RunTimeout = *runTimeout
+	opts.AssignTopK = *assignTopK
 	if *cacheBudget != "" {
 		n, err := cache.ParseBytes(*cacheBudget)
 		if err != nil {

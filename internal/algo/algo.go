@@ -57,6 +57,19 @@ func Similarity(ctx context.Context, a Aligner, src, dst *graph.Graph) (*matrix.
 	return a.Similarity(src, dst)
 }
 
+// EmbeddingAligner is optionally implemented by aligners whose similarity
+// matrix is a monotone non-increasing function of the distance between
+// per-node embedding rows (REGAL, CONE, GRASP). EmbeddingsCtx returns that
+// factored form — the embeddings plus the distance-to-similarity map —
+// without materializing the dense |V_src| x |V_dst| matrix, so the sparse
+// assignment pipeline can run k-NN candidate search directly over the
+// embeddings. The contract: Embedding.Similarity() must equal what
+// SimilarityCtx returns under the same ctx (same values, same shape), and
+// the returned matrices are private to the caller.
+type EmbeddingAligner interface {
+	EmbeddingsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.Embedding, error)
+}
+
 // Instrumented is optionally implemented by aligners that can report the
 // inner phases of Similarity (eigendecompositions, optimal-transport
 // recursions, power-iteration convergence) through an observability span.
@@ -136,6 +149,54 @@ func AlignTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method
 	}
 	assignTime = time.Since(t1)
 	return mapping, simTime, assignTime, nil
+}
+
+// AlignSparseTimedCtx is AlignTimedCtx through the sparse assignment
+// pipeline: the similarity is reduced to per-row top-k candidates — via k-NN
+// over raw embeddings for EmbeddingAligners (never materializing the dense
+// matrix), via bounded-heap row selection otherwise — and solved by the
+// sparse variant of the requested method (exact methods map to the ε-scaling
+// auction, with a dense-JV fallback when the candidate graph leaves rows
+// unmatchable; see assign.SolveSparse). topk <= 0 keeps every column.
+// Candidate generation is accounted to assignTime: simTime keeps the
+// paper's meaning of "similarity computation only".
+func AlignSparseTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method assign.Method, topk, workers int) (mapping []int, simTime, assignTime time.Duration, stats assign.SparseStats, err error) {
+	if src.N() > dst.N() {
+		return nil, 0, 0, stats, fmt.Errorf("algo: source graph larger than target (%d > %d)", src.N(), dst.N())
+	}
+	var cands *assign.Candidates
+	var dense func() *matrix.Dense
+	if ea, ok := a.(EmbeddingAligner); ok {
+		t0 := time.Now()
+		emb, eerr := ea.EmbeddingsCtx(ctx, src, dst)
+		simTime = time.Since(t0)
+		if eerr != nil {
+			return nil, simTime, 0, stats, fmt.Errorf("algo: %s embeddings: %w", a.Name(), eerr)
+		}
+		t1 := time.Now()
+		cands = assign.TopKEmbedding(emb, topk, workers)
+		dense = emb.Similarity
+		defer func() { assignTime += time.Since(t1) }()
+	} else {
+		t0 := time.Now()
+		sim, serr := Similarity(ctx, a, src, dst)
+		simTime = time.Since(t0)
+		if serr != nil {
+			return nil, simTime, 0, stats, fmt.Errorf("algo: %s similarity: %w", a.Name(), serr)
+		}
+		t1 := time.Now()
+		cands = assign.TopKDense(sim, topk, workers)
+		dense = func() *matrix.Dense { return sim }
+		defer func() { assignTime += time.Since(t1) }()
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, simTime, 0, stats, fmt.Errorf("algo: %s similarity: %w", a.Name(), cerr)
+	}
+	mapping, stats, err = assign.SolveSparse(method, cands, dense, workers)
+	if err != nil {
+		return nil, simTime, assignTime, stats, fmt.Errorf("algo: %s sparse assignment: %w", a.Name(), err)
+	}
+	return mapping, simTime, assignTime, stats, nil
 }
 
 // AlignDefault runs Align with the algorithm's author-proposed assignment.

@@ -259,13 +259,38 @@ func (c *CONE) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 // factorizations, the warm-start similarities, and every pilot and full
 // alternation round.
 func (c *CONE) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
-	ySrc, err := c.EmbedCtx(ctx, src)
+	rot, yd, err := c.alignedEmbeddingsCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
 	}
-	yDst, err := c.EmbedCtx(ctx, dst)
+	return regal.EmbeddingSimilarity(rot, yd), nil
+}
+
+// EmbeddingsCtx implements algo.EmbeddingAligner: the subspace-aligned
+// embeddings in factored form with the exp(-d²) kernel CONE shares with
+// REGAL, for the sparse assignment pipeline's k-NN candidate search.
+// Materializing the returned Embedding reproduces SimilarityCtx exactly.
+func (c *CONE) EmbeddingsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.Embedding, error) {
+	rot, yd, err := c.alignedEmbeddingsCtx(ctx, src, dst)
 	if err != nil {
 		return nil, err
+	}
+	return &assign.Embedding{Src: rot, Dst: yd, SimFromDist2: regal.ExpKernel}, nil
+}
+
+// alignedEmbeddingsCtx runs the full CONE pipeline up to (but excluding) the
+// dense similarity materialization: per-graph embeddings, common-space
+// padding and truncation, warm-start selection, and the Wasserstein/
+// Procrustes alternation. Returns the rotated source embeddings and the
+// target embeddings.
+func (c *CONE) alignedEmbeddingsCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, *matrix.Dense, error) {
+	ySrc, err := c.EmbedCtx(ctx, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	yDst, err := c.EmbedCtx(ctx, dst)
+	if err != nil {
+		return nil, nil, err
 	}
 	// Pad the smaller embedding with zero columns so Procrustes operates in
 	// a common space, then truncate to the alignment subspace.
@@ -284,7 +309,7 @@ func (c *CONE) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matri
 
 	warms, err := c.warmStarts(ctx, src, dst)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	best := warms[0]
 	if len(warms) > 1 {
@@ -294,7 +319,7 @@ func (c *CONE) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matri
 		for _, w := range warms {
 			rot, yd, err := pilot.AlignEmbeddingsCtx(ctx, ySrc, yDst, w)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if obj := meanNNDistance(rot, yd); obj < bestObj {
 				bestObj = obj
@@ -302,11 +327,7 @@ func (c *CONE) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matri
 			}
 		}
 	}
-	rot, yd, err := c.AlignEmbeddingsCtx(ctx, ySrc, yDst, best)
-	if err != nil {
-		return nil, err
-	}
-	return regal.EmbeddingSimilarity(rot, yd), nil
+	return c.AlignEmbeddingsCtx(ctx, ySrc, yDst, best)
 }
 
 // warmStarts builds the candidate anchor plans: hard JV matchings of the

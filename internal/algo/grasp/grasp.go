@@ -79,9 +79,60 @@ func (g *GRASP) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 // Lanczos/dense eigendecompositions and the base-alignment SVD, and checked
 // per heat-kernel time step and per feature-distance row.
 func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	featSrc, featDst, err := g.featuresCtx(ctx, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	n1, n2 := src.N(), dst.N()
+	// Similarity = negative distance, shifted positive.
+	sp := g.span.Phase("feature_distance")
+	sim := matrix.NewDense(n1, n2)
+	for i := 0; i < n1; i++ {
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			return nil, err
+		}
+		ri := featSrc.Row(i)
+		row := sim.Row(i)
+		for j := 0; j < n2; j++ {
+			rj := featDst.Row(j)
+			var d2 float64
+			for t := range ri {
+				d := ri[t] - rj[t]
+				d2 += d * d
+			}
+			row[j] = -d2
+		}
+	}
+	sp.End()
+	return sim, nil
+}
+
+// EmbeddingsCtx implements algo.EmbeddingAligner: the aligned spectral
+// feature rows in factored form with GRASP's negated-squared-distance
+// similarity, for the sparse assignment pipeline's k-NN candidate search.
+// Materializing the returned Embedding reproduces SimilarityCtx exactly
+// (same squared-distance accumulation order).
+func (g *GRASP) EmbeddingsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.Embedding, error) {
+	featSrc, featDst, err := g.featuresCtx(ctx, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return &assign.Embedding{Src: featSrc, Dst: featDst, SimFromDist2: NegDistKernel}, nil
+}
+
+// NegDistKernel is GRASP's distance-to-similarity map: sim = -d² (higher
+// similarity = smaller feature distance). Monotone non-increasing, as the
+// sparse candidate search requires.
+func NegDistKernel(d2 float64) float64 { return -d2 }
+
+// featuresCtx runs the GRASP pipeline up to (but excluding) the pairwise
+// feature-distance matrix: eigendecompositions, heat-kernel signatures, base
+// alignment, and singular-value weighting of the mapped features.
+func (g *GRASP) featuresCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, *matrix.Dense, error) {
 	n1, n2 := src.N(), dst.N()
 	if n1 == 0 || n2 == 0 {
-		return nil, errors.New("grasp: empty graph")
+		return nil, nil, errors.New("grasp: empty graph")
 	}
 	k := g.K
 	if k > n1 {
@@ -91,7 +142,7 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 		k = n2
 	}
 	if k < 2 {
-		return nil, errors.New("grasp: graphs too small for spectral alignment")
+		return nil, nil, errors.New("grasp: graphs too small for spectral alignment")
 	}
 	sp := g.span.Phase("eigendecomposition")
 	sp.Set("k", k)
@@ -102,12 +153,12 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 	valsA, phiA, err := cache.LaplacianEigs(ctx, g.cache, src, k, g.Seed)
 	if err != nil {
 		sp.End()
-		return nil, err
+		return nil, nil, err
 	}
 	valsB, phiB, err := cache.LaplacianEigs(ctx, g.cache, dst, k, g.Seed)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	sp = g.span.Phase("heat_kernels")
@@ -119,12 +170,12 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 	fA, err := g.cachedHeatDiagonals(ctx, src, k, valsA, phiA, ts) // n1 x q
 	if err != nil {
 		sp.End()
-		return nil, err
+		return nil, nil, err
 	}
 	fB, err := g.cachedHeatDiagonals(ctx, dst, k, valsB, phiB, ts) // n2 x q
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Base alignment (Equation 14): find the orthogonal M aligning the two
@@ -143,7 +194,7 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 	u, sv, v, err := linalg.SVDAnyCtx(ctx, abt)
 	if err != nil {
 		sp.End()
-		return nil, err
+		return nil, nil, err
 	}
 	sp.End()
 	// The SVD pairs canonical directions of the two eigenbases: column j of
@@ -176,28 +227,7 @@ func (g *GRASP) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matr
 		featSrc = appendHeatFeatures(featSrc, fA)
 		featDst = appendHeatFeatures(featDst, fB)
 	}
-	// Similarity = negative distance, shifted positive.
-	sp = g.span.Phase("feature_distance")
-	sim := matrix.NewDense(n1, n2)
-	for i := 0; i < n1; i++ {
-		if err := ctx.Err(); err != nil {
-			sp.End()
-			return nil, err
-		}
-		ri := featSrc.Row(i)
-		row := sim.Row(i)
-		for j := 0; j < n2; j++ {
-			rj := featDst.Row(j)
-			var d2 float64
-			for t := range ri {
-				d := ri[t] - rj[t]
-				d2 += d * d
-			}
-			row[j] = -d2
-		}
-	}
-	sp.End()
-	return sim, nil
+	return featSrc, featDst, nil
 }
 
 // cachedHeatDiagonals draws the heat-kernel diagonal matrix from the artifact

@@ -207,23 +207,55 @@ func (r *REGAL) computeSimilarity(ctx context.Context, src, dst *graph.Graph) (*
 	return EmbeddingSimilarity(ySrc, yDst), nil
 }
 
-// EmbeddingSimilarity converts two embedding matrices into the similarity
-// matrix exp(-squared Euclidean distance) used by REGAL and CONE.
-func EmbeddingSimilarity(ySrc, yDst *matrix.Dense) *matrix.Dense {
-	n, m := ySrc.Rows, yDst.Rows
-	sim := matrix.NewDense(n, m)
-	for i := 0; i < n; i++ {
-		ri := ySrc.Row(i)
-		row := sim.Row(i)
-		for j := 0; j < m; j++ {
-			rj := yDst.Row(j)
-			var d2 float64
-			for k := range ri {
-				d := ri[k] - rj[k]
-				d2 += d * d
-			}
-			row[j] = math.Exp(-d2)
+// EmbeddingsCtx implements algo.EmbeddingAligner: the xNetMF embeddings in
+// factored form with REGAL's exp(-d²) kernel, for the sparse assignment
+// pipeline's k-NN candidate search. Materializing the returned Embedding
+// reproduces SimilarityCtx exactly (same squared-distance accumulation
+// order). With a cache attached the embedding pair is memoized per
+// (pair, params) — sharing the dominant cost across assignment methods and
+// reps — and private clones are returned.
+func (r *REGAL) EmbeddingsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.Embedding, error) {
+	ySrc, yDst, err := r.embedCached(ctx, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return &assign.Embedding{Src: ySrc, Dst: yDst, SimFromDist2: ExpKernel}, nil
+}
+
+// embedCached is EmbedCtx drawn through the artifact cache (private clones
+// returned); a nil cache computes directly.
+func (r *REGAL) embedCached(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, *matrix.Dense, error) {
+	if r.cache == nil {
+		return r.EmbedCtx(ctx, src, dst)
+	}
+	key := fmt.Sprintf("%s/regalemb/k%d/d%g/g%g/l%g/s%d", cache.PairKey(src, dst), r.K, r.Delta, r.GammaStruc, r.LandmarksFactor, r.Seed)
+	v, err := r.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		ySrc, yDst, err := r.EmbedCtx(ctx, src, dst)
+		if err != nil {
+			return nil, 0, err
 		}
+		return [2]*matrix.Dense{ySrc, yDst}, cache.DenseBytes(ySrc) + cache.DenseBytes(yDst), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	pairY := v.([2]*matrix.Dense)
+	return pairY[0].Clone(), pairY[1].Clone(), nil
+}
+
+// ExpKernel is the distance-to-similarity map REGAL and CONE extract
+// alignments with: sim = exp(-d²). Monotone non-increasing, as the sparse
+// candidate search requires.
+func ExpKernel(d2 float64) float64 { return math.Exp(-d2) }
+
+// EmbeddingSimilarity converts two embedding matrices into the similarity
+// matrix exp(-squared Euclidean distance) used by REGAL and CONE. The
+// squared distances come from the shared row-blocked kernel, keeping results
+// bitwise identical to the original serial loop for any worker count.
+func EmbeddingSimilarity(ySrc, yDst *matrix.Dense) *matrix.Dense {
+	sim := matrix.PairwiseSqDist(ySrc, yDst)
+	for i, d2 := range sim.Data {
+		sim.Data[i] = ExpKernel(d2)
 	}
 	return sim
 }

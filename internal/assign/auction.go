@@ -1,0 +1,307 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+
+	"graphalign/internal/matrix"
+	"graphalign/internal/parallel"
+)
+
+// Sparse assignment methods: candidate-set counterparts of the paper's four
+// dense extraction strategies. They consume a Candidates set instead of a
+// dense matrix (see SolveSparse) and exist so the experiment framework can
+// name the sparse pipeline in results and checkpoints without overloading
+// the dense method identifiers.
+const (
+	// AuctionSparse is the forward-auction LAP solver with ε-scaling over
+	// the candidate set; the sparse counterpart of both exact dense solvers
+	// (JV and MWM). Falls back to dense JV when the candidate graph cannot
+	// match every row.
+	AuctionSparse Method = "AUC"
+	// NearestNeighborSparse is NN over candidates (each row's best
+	// candidate), restricted to one-to-one like the dense pipeline.
+	NearestNeighborSparse Method = "NN-K"
+	// SortGreedySparse is SortGreedy over candidates with the free-column
+	// maximality fallback of SolveGreedyTopK.
+	SortGreedySparse Method = "SG-K"
+)
+
+// SparseMethods lists the sparse methods in the order of their dense
+// counterparts.
+func SparseMethods() []Method {
+	return []Method{NearestNeighborSparse, SortGreedySparse, AuctionSparse}
+}
+
+// SparseVariant maps a dense assignment method to its sparse counterpart
+// (both exact solvers map to the auction). Sparse methods map to themselves,
+// so callers can pass either form. ok is false for unknown methods.
+func SparseVariant(m Method) (Method, bool) {
+	switch m {
+	case NearestNeighbor, NearestNeighborSparse:
+		return NearestNeighborSparse, true
+	case SortGreedy, SortGreedySparse:
+		return SortGreedySparse, true
+	case Hungarian, JonkerVolgenant, AuctionSparse:
+		return AuctionSparse, true
+	}
+	return "", false
+}
+
+// SparseStats reports what the sparse pipeline did, for observability and
+// for the optimality-tolerance contract of the property tests.
+type SparseStats struct {
+	// CandidatesPerRow is the effective per-row candidate count K.
+	CandidatesPerRow int
+	// Rounds is the number of synchronous auction bidding rounds across all
+	// ε phases (zero for the non-auction methods and on fallback).
+	Rounds int
+	// Phases is the number of ε-scaling phases run.
+	Phases int
+	// FinalEps is the ε of the last auction phase; the auction total is
+	// within Cols*FinalEps of the optimum over the candidate graph.
+	FinalEps float64
+	// FellBack reports that the candidate graph left rows unmatchable and
+	// the solve was redone by dense JV over the materialized matrix.
+	FellBack bool
+}
+
+// SolveSparse dispatches a sparse assignment method over a candidate set.
+// dense lazily materializes the full similarity matrix and is only invoked
+// on the auction's unmatchable-fallback path (it may be nil when the caller
+// can guarantee matchability; the fallback then returns an error). workers
+// bounds the auction's parallel bidding fan-out (0 = one per CPU); the
+// returned mapping is identical for any worker count. The NN variant is
+// restricted to one-to-one, as the paper requires of every method.
+func SolveSparse(method Method, c *Candidates, dense func() *matrix.Dense, workers int) ([]int, SparseStats, error) {
+	if c.Rows > c.Cols {
+		return nil, SparseStats{}, fmt.Errorf("assign: source larger than target (%d > %d)", c.Rows, c.Cols)
+	}
+	stats := SparseStats{CandidatesPerRow: c.K}
+	sm, ok := SparseVariant(method)
+	if !ok {
+		return nil, stats, fmt.Errorf("assign: unknown sparse method %q", method)
+	}
+	switch sm {
+	case NearestNeighborSparse:
+		return EnforceOneToOneSparse(c, SolveNNSparse(c)), stats, nil
+	case SortGreedySparse:
+		return SolveGreedySparse(c), stats, nil
+	}
+	mapping, st, ok := SolveAuction(c, workers)
+	st.CandidatesPerRow = c.K
+	if ok {
+		return mapping, st, nil
+	}
+	st.FellBack = true
+	if dense == nil {
+		return nil, st, fmt.Errorf("assign: candidate graph unmatchable and no dense fallback")
+	}
+	return SolveJV(dense()), st, nil
+}
+
+// auctionMaxRounds bounds the bidding rounds of one ε phase. Theory bounds
+// the bids per object per phase by Δ/ε + persons, so with the ε-scaling
+// schedule below (Δ/ε <= 4 after the first phase) legitimate phases stay
+// far under the cap; it exists purely as a termination backstop — a tripped
+// cap reports ok=false and the caller falls back to dense JV.
+func auctionMaxRounds(persons, objects int) int {
+	return 64 * (persons + objects + 16)
+}
+
+// SolveAuction solves the maximum-similarity assignment over a candidate set
+// with the forward auction algorithm and ε-scaling (Bertsekas). Rows bid for
+// their best-value candidate at a premium of (best − second-best + ε) over
+// its price; ε starts at a quarter of the candidate value spread and shrinks
+// geometrically, each phase re-running the auction from the previous phase's
+// prices. The final total similarity is within Cols*FinalEps of the optimum
+// restricted to the candidate graph (ε-complementary slackness).
+//
+// Rectangular problems (Rows < Cols) are padded with virtual rows holding
+// zero value for every column, exactly like SolveJV's padding, so the
+// symmetric auction applies unchanged.
+//
+// Bidding rounds are synchronous (Jacobi): every unassigned row computes its
+// bid against the same price vector — fanned out across at most workers
+// goroutines — and bids are then resolved sequentially in row order, highest
+// bid winning each column with ties to the lowest row. The mapping is
+// therefore a pure function of the candidate set: identical across repeated
+// runs and across worker counts.
+//
+// ok is false when the candidate graph cannot match every row (detected by
+// Hopcroft–Karp up front, plus a round-cap backstop); callers should fall
+// back to a dense solver (see SolveSparse).
+func SolveAuction(c *Candidates, workers int) ([]int, SparseStats, bool) {
+	n, m := c.Rows, c.Cols
+	var stats SparseStats
+	if n == 0 {
+		return nil, stats, true
+	}
+	if !c.Matchable() {
+		return nil, stats, false
+	}
+
+	// Value spread drives the ε schedule. Virtual padding rows hold value 0,
+	// so the spread must cover 0 when padding is present.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, v := range c.Val {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if m > n || len(c.Val) == 0 {
+		if minV > 0 {
+			minV = 0
+		}
+		if maxV < 0 {
+			maxV = 0
+		}
+	}
+	spread := maxV - minV
+	epsFinal := spread / (1e6 * float64(m+1))
+	if epsFinal <= 0 {
+		epsFinal = 1e-12 // all-equal values: one phase, any perfect matching is optimal
+	}
+	eps := spread / 4
+	if eps < epsFinal {
+		eps = epsFinal
+	}
+
+	persons := m // rows padded square with zero-value virtual rows
+	price := make([]float64, m)
+	personObj := make([]int, persons) // person -> column, -1 unassigned
+	objPerson := make([]int, m)       // column -> person, -1 free
+	unassigned := make([]int, 0, persons)
+	bidObj := make([]int, persons)
+	bidVal := make([]float64, persons)
+	// Per-round winning bid per column, invalidated by a round stamp rather
+	// than cleared.
+	roundStamp := make([]int, m)
+	for j := range roundStamp {
+		roundStamp[j] = -1
+	}
+	round := 0
+
+	// bid computes person p's favored column and bid price under the current
+	// prices. Persons >= n are virtual padding with value 0 on every column.
+	// With a single viable candidate, second stays -Inf and the bid is +Inf:
+	// the person claims the column permanently, which is sound because
+	// matchability was verified up front.
+	bid := func(p int, eps float64) (int, float64) {
+		best, second := math.Inf(-1), math.Inf(-1)
+		bestJ := -1
+		if p < n {
+			cols, vals := c.Row(p)
+			for ci, j := range cols {
+				net := vals[ci] - price[j]
+				if net > best {
+					second = best
+					best, bestJ = net, j
+				} else if net > second {
+					second = net
+				}
+			}
+		} else {
+			for j := 0; j < m; j++ {
+				net := -price[j]
+				if net > best {
+					second = best
+					best, bestJ = net, j
+				} else if net > second {
+					second = net
+				}
+			}
+		}
+		if bestJ == -1 {
+			return -1, 0
+		}
+		return bestJ, price[bestJ] + (best - second) + eps
+	}
+
+	parWorkers := parallel.Workers(workers)
+	for {
+		stats.Phases++
+		stats.FinalEps = eps
+		// Each phase restarts the assignment from the current prices, which
+		// satisfy ε-CS for the previous (larger) ε.
+		for i := range personObj {
+			personObj[i] = -1
+		}
+		for j := range objPerson {
+			objPerson[j] = -1
+		}
+		unassigned = unassigned[:0]
+		for p := 0; p < persons; p++ {
+			unassigned = append(unassigned, p)
+		}
+		maxRounds := auctionMaxRounds(persons, m)
+		for phaseRound := 0; len(unassigned) > 0; phaseRound++ {
+			if phaseRound > maxRounds {
+				return nil, stats, false
+			}
+			stats.Rounds++
+			round++
+			// Bidding: pure per-person scans against the shared price vector.
+			curEps := eps
+			computeBids := func(lo, hi int) {
+				for idx := lo; idx < hi; idx++ {
+					p := unassigned[idx]
+					bidObj[p], bidVal[p] = bid(p, curEps)
+				}
+			}
+			if len(unassigned)*(c.K+1) >= candidateBudget && parWorkers > 1 {
+				parallel.Blocks(workers, len(unassigned), computeBids)
+			} else {
+				computeBids(0, len(unassigned))
+			}
+			// Resolution: find each column's winning bid. Bidders are scanned
+			// in ascending person order and only a strictly higher bid
+			// displaces the provisional winner, so ties go to the lowest
+			// person and the outcome never depends on goroutine scheduling.
+			// Every bid exceeds the column's pre-round price by >= ε by
+			// construction, so all bids are acceptable.
+			for _, p := range unassigned {
+				j := bidObj[p]
+				if j < 0 {
+					continue
+				}
+				if roundStamp[j] != round {
+					roundStamp[j] = round
+					if prev := objPerson[j]; prev != -1 {
+						personObj[prev] = -1
+					}
+				} else {
+					prev := objPerson[j]
+					if bidVal[p] <= bidVal[prev] {
+						continue
+					}
+					personObj[prev] = -1
+				}
+				objPerson[j] = p
+				personObj[p] = j
+				price[j] = bidVal[p]
+			}
+			// Rebuild the unassigned list in ascending person order.
+			unassigned = unassigned[:0]
+			for p := 0; p < persons; p++ {
+				if personObj[p] == -1 {
+					unassigned = append(unassigned, p)
+				}
+			}
+		}
+		if eps <= epsFinal {
+			break
+		}
+		eps /= 4
+		if eps < epsFinal {
+			eps = epsFinal
+		}
+	}
+
+	mapping := make([]int, n)
+	copy(mapping, personObj[:n])
+	return mapping, stats, true
+}

@@ -1,0 +1,123 @@
+package assign
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks backing BENCH_assign.json (see scripts/bench_assign.sh): the
+// dense exact solver vs the sparse candidate+auction pipeline, candidate
+// generation on its own, and the rewritten NN/SG extractors.
+
+// benchSizes matches the fig11 scal-grid node counts at the default scale
+// (2^8..2^11); 2048 is the grid's largest size.
+func benchSizes() []int { return []int{256, 512, 1024, 2048} }
+
+func BenchmarkSolveJV(b *testing.B) {
+	for _, n := range benchSizes() {
+		sim := randomSim(n, n, int64(n))
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SolveJV(sim)
+			}
+		})
+	}
+}
+
+func BenchmarkAuctionPipeline(b *testing.B) {
+	// Candidate generation + auction solve: the full sparse assignment stage
+	// as RunInstanceSpec executes it for a non-embedding aligner.
+	for _, n := range benchSizes() {
+		sim := randomSim(n, n, int64(n))
+		b.Run(fmt.Sprintf("n%d/k16", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := TopKDense(sim, 16, 1)
+				if _, _, ok := SolveAuction(c, 1); !ok {
+					b.Fatal("auction fell back")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveAuction(b *testing.B) {
+	// Auction solve alone over precomputed candidates.
+	for _, n := range benchSizes() {
+		sim := randomSim(n, n, int64(n))
+		c := TopKDense(sim, 16, 1)
+		b.Run(fmt.Sprintf("n%d/k16", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := SolveAuction(c, 1); !ok {
+					b.Fatal("auction fell back")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTopKDense(b *testing.B) {
+	for _, n := range benchSizes() {
+		sim := randomSim(n, n, int64(n))
+		b.Run(fmt.Sprintf("n%d/k16", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TopKDense(sim, 16, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkTopKEmbedding(b *testing.B) {
+	// k-NN candidate generation straight from embeddings (d=32, the REGAL
+	// default embedding width at moderate sizes).
+	for _, n := range benchSizes() {
+		e := testEmbedding(n, n, 32, int64(n))
+		b.Run(fmt.Sprintf("n%d/k16", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TopKEmbedding(e, 16, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveNN(b *testing.B) {
+	for _, n := range benchSizes() {
+		sim := randomSim(n, n, int64(n))
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SolveNN(sim)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveGreedy(b *testing.B) {
+	for _, n := range benchSizes() {
+		sim := randomSim(n, n, int64(n))
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SolveGreedy(sim)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveGreedyReference(b *testing.B) {
+	// The original full-sort SortGreedy, for before/after comparison with the
+	// lazy stream-merge SolveGreedy above.
+	for _, n := range benchSizes() {
+		sim := randomSim(n, n, int64(n))
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				solveGreedyReference(sim)
+			}
+		})
+	}
+}

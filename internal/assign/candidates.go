@@ -1,0 +1,243 @@
+package assign
+
+import (
+	"graphalign/internal/kdtree"
+	"graphalign/internal/matrix"
+	"graphalign/internal/parallel"
+)
+
+// Candidates is the sparse per-row candidate set the sparse assignment
+// pipeline operates on: for each source row, its K highest-similarity target
+// columns, stored row-major and sorted within each row by descending value
+// with ties broken by ascending column. K is uniform across rows (capped at
+// Cols), which keeps the layout a flat pair of arrays the auction's inner
+// loop can stream through.
+//
+// A candidate set is immutable once built and is a pure function of its
+// inputs, so it can be shared across goroutines freely.
+type Candidates struct {
+	Rows, Cols int
+	// K is the number of candidates per row (min(requested k, Cols)).
+	K int
+	// Col[i*K+c] and Val[i*K+c] are the column and similarity of row i's
+	// c-th best candidate.
+	Col []int
+	Val []float64
+}
+
+// Row returns row i's candidate columns and values (views into shared
+// storage; treat as read-only).
+func (c *Candidates) Row(i int) ([]int, []float64) {
+	lo, hi := i*c.K, (i+1)*c.K
+	return c.Col[lo:hi], c.Val[lo:hi]
+}
+
+// candidateBudget is the approximate per-call work (rows * cols) above which
+// candidate generation fans rows out across the worker pool. Each row is
+// selected by exactly one goroutine, so results are identical for any worker
+// count.
+const candidateBudget = 1 << 18
+
+// TopKDense reduces a dense similarity matrix to its per-row top-k candidate
+// set via bounded-heap partial selection: O(m log k) per row instead of the
+// O(m log m) of a full row sort. Rows are fanned out across at most workers
+// goroutines (0 = one per CPU, 1 = sequential); the output is identical for
+// any worker count. k <= 0 or k >= Cols keeps every column (the candidate
+// set is then dense, just reordered).
+func TopKDense(sim *matrix.Dense, k, workers int) *Candidates {
+	n, m := sim.Rows, sim.Cols
+	if k <= 0 || k > m {
+		k = m
+	}
+	c := &Candidates{Rows: n, Cols: m, K: k,
+		Col: make([]int, n*k), Val: make([]float64, n*k)}
+	selectRows := func(lo, hi int) {
+		heap := make([]pair, 0, k)
+		for i := lo; i < hi; i++ {
+			heap = selectTopK(heap[:0], sim.Row(i), k)
+			// Heap-sort the selection in place into descending (v, asc j)
+			// order: repeatedly move the weakest candidate to the tail.
+			cols, vals := c.Row(i)
+			for l := len(heap) - 1; l > 0; l-- {
+				heap[0], heap[l] = heap[l], heap[0]
+				topKSiftDownN(heap, 0, l)
+			}
+			for idx, p := range heap {
+				cols[idx], vals[idx] = p.j, p.v
+			}
+		}
+	}
+	if n*m >= candidateBudget && parallel.Workers(workers) > 1 {
+		parallel.Blocks(workers, n, selectRows)
+	} else {
+		selectRows(0, n)
+	}
+	return c
+}
+
+// selectTopK pushes row's k strongest (value, column) entries onto h (reused
+// storage, passed in emptied) using the bounded min-heap ordered by
+// (v asc, j desc): the root is the weakest kept candidate, and among equal
+// values the larger column is evicted first, so ties keep the smaller column.
+func selectTopK(h []pair, row []float64, k int) []pair {
+	for j, v := range row {
+		if len(h) < k {
+			h = append(h, pair{0, j, v})
+			topKSiftUp(h, len(h)-1)
+			continue
+		}
+		// Columns arrive in increasing j, so on equal value the incumbent
+		// (smaller j) wins and the newcomer is skipped.
+		if v <= h[0].v {
+			continue
+		}
+		h[0] = pair{0, j, v}
+		topKSiftDown(h, 0)
+	}
+	return h
+}
+
+// Embedding is a similarity matrix in factored form: per-node embedding rows
+// for the source and target graphs plus the monotone non-increasing map from
+// squared Euclidean row distance to similarity score. Aligners whose
+// similarity is a pure function of embedding distance (REGAL, CONE, GRASP)
+// expose this via algo.EmbeddingAligner so the sparse pipeline can run k-NN
+// candidate search directly over the embeddings and never materialize the
+// dense n x m similarity matrix.
+type Embedding struct {
+	Src, Dst *matrix.Dense
+	// SimFromDist2 converts a squared Euclidean distance between an Src row
+	// and a Dst row into the aligner's similarity score. It must be monotone
+	// non-increasing so that nearest-in-embedding equals best-similarity.
+	SimFromDist2 func(d2 float64) float64
+}
+
+// Similarity materializes the full dense similarity matrix from the
+// embedding — the fallback of the sparse pipeline when the candidate graph
+// is unmatchable, and bitwise what the aligner's own dense path computes
+// (same row-major squared-distance accumulation order).
+func (e *Embedding) Similarity() *matrix.Dense {
+	sim := matrix.PairwiseSqDist(e.Src, e.Dst)
+	for i, d2 := range sim.Data {
+		sim.Data[i] = e.SimFromDist2(d2)
+	}
+	return sim
+}
+
+// TopKEmbedding builds the per-row candidate set by k-nearest-neighbor
+// queries against a k-d tree over the target embedding rows, skipping the
+// dense Rows x Cols similarity matrix entirely: O((n+m) log m * d) plus the
+// k-NN visits instead of O(n m d). Queries fan out across at most workers
+// goroutines; results are identical for any worker count (tree construction
+// and each query are pure functions). Within a row, candidates are ordered
+// by ascending distance with ties broken by lower column id, which is
+// descending similarity order because SimFromDist2 is monotone.
+func TopKEmbedding(e *Embedding, k, workers int) *Candidates {
+	n, m := e.Src.Rows, e.Dst.Rows
+	if k <= 0 || k > m {
+		k = m
+	}
+	points := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		points[j] = e.Dst.Row(j)
+	}
+	tree := kdtree.Build(points)
+	c := &Candidates{Rows: n, Cols: m, K: k,
+		Col: make([]int, n*k), Val: make([]float64, n*k)}
+	queryRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ids, dists := tree.NearestK(e.Src.Row(i), k)
+			cols, vals := c.Row(i)
+			for idx, id := range ids {
+				cols[idx] = id
+				vals[idx] = e.SimFromDist2(dists[idx])
+			}
+		}
+	}
+	if n*k >= 1<<12 && parallel.Workers(workers) > 1 {
+		parallel.Blocks(workers, n, queryRows)
+	} else {
+		queryRows(0, n)
+	}
+	return c
+}
+
+// Matchable reports whether the candidate graph admits a matching that
+// saturates every row (a prerequisite for the auction solver: rows that
+// cannot all be matched within their candidates make the auction chase an
+// infeasible assignment). It runs Hopcroft–Karp over the candidate edges,
+// O(E sqrt(V)) — negligible next to the solve itself. Rows > Cols is
+// trivially unmatchable.
+func (c *Candidates) Matchable() bool {
+	if c.Rows > c.Cols {
+		return false
+	}
+	return c.maxMatching() == c.Rows
+}
+
+// maxMatching is Hopcroft–Karp over the candidate bipartite graph, returning
+// the maximum number of simultaneously matchable rows.
+func (c *Candidates) maxMatching() int {
+	const inf = int(^uint(0) >> 1)
+	n := c.Rows
+	matchRow := make([]int, n) // row -> col, -1 free
+	matchCol := make([]int, c.Cols)
+	for i := range matchRow {
+		matchRow[i] = -1
+	}
+	for j := range matchCol {
+		matchCol[j] = -1
+	}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	matched := 0
+	for {
+		// BFS layering from free rows.
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			if matchRow[i] == -1 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			i := queue[qi]
+			cols, _ := c.Row(i)
+			for _, j := range cols {
+				next := matchCol[j]
+				if next == -1 {
+					found = true
+				} else if dist[next] == inf {
+					dist[next] = dist[i] + 1
+					queue = append(queue, next)
+				}
+			}
+		}
+		if !found {
+			return matched
+		}
+		// DFS augmentation along the layering.
+		var try func(i int) bool
+		try = func(i int) bool {
+			cols, _ := c.Row(i)
+			for _, j := range cols {
+				next := matchCol[j]
+				if next == -1 || (dist[next] == dist[i]+1 && try(next)) {
+					matchRow[i] = j
+					matchCol[j] = i
+					return true
+				}
+			}
+			dist[i] = inf
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if matchRow[i] == -1 && try(i) {
+				matched++
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package assign
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"graphalign/internal/matrix"
+)
+
+// naiveTopK is the reference candidate selection: full row sort by
+// (v desc, j asc), truncated to k.
+func naiveTopK(row []float64, k int) []pair {
+	ps := make([]pair, len(row))
+	for j, v := range row {
+		ps[j] = pair{0, j, v}
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].v != ps[b].v {
+			return ps[a].v > ps[b].v
+		}
+		return ps[a].j < ps[b].j
+	})
+	if k < len(ps) {
+		ps = ps[:k]
+	}
+	return ps
+}
+
+func TestTopKDenseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	regimes := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return rng.Float64() }},
+		// Quantized values force heavy ties: the (v desc, j asc) contract is
+		// only observable under ties.
+		{"quantized", func() float64 { return float64(rng.Intn(3)) }},
+		{"negative", func() float64 { return rng.Float64() - 0.5 }},
+	}
+	for _, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			for trial := 0; trial < 30; trial++ {
+				n, m := 1+rng.Intn(12), 1+rng.Intn(20)
+				k := 1 + rng.Intn(m)
+				sim := matrix.NewDense(n, m)
+				for i := range sim.Data {
+					sim.Data[i] = reg.draw()
+				}
+				c := TopKDense(sim, k, 1)
+				if c.Rows != n || c.Cols != m || c.K != k {
+					t.Fatalf("shape: got (%d,%d,%d) want (%d,%d,%d)", c.Rows, c.Cols, c.K, n, m, k)
+				}
+				for i := 0; i < n; i++ {
+					want := naiveTopK(sim.Row(i), k)
+					cols, vals := c.Row(i)
+					for idx, w := range want {
+						if cols[idx] != w.j || vals[idx] != w.v {
+							t.Fatalf("row %d cand %d: got (%d,%v) want (%d,%v)\nrow=%v k=%d",
+								i, idx, cols[idx], vals[idx], w.j, w.v, sim.Row(i), k)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTopKDenseDegenerateK(t *testing.T) {
+	sim := randomSim(4, 6, 3)
+	for _, k := range []int{0, -1, 6, 100} {
+		c := TopKDense(sim, k, 1)
+		if c.K != 6 {
+			t.Fatalf("k=%d: got K=%d, want full 6", k, c.K)
+		}
+	}
+}
+
+func TestTopKDenseParallelIdentical(t *testing.T) {
+	// 512*512 = 2^18 crosses candidateBudget, engaging the parallel path.
+	sim := randomSim(512, 512, 9)
+	serial := TopKDense(sim, 16, 1)
+	for _, workers := range []int{0, 2, 4} {
+		par := TopKDense(sim, 16, workers)
+		for i := range serial.Col {
+			if serial.Col[i] != par.Col[i] || serial.Val[i] != par.Val[i] {
+				t.Fatalf("workers=%d diverges from serial at flat index %d", workers, i)
+			}
+		}
+	}
+}
+
+// testEmbedding builds a random low-dimensional embedding pair with the
+// exp(-d2) kernel.
+func testEmbedding(n, m, d int, seed int64) *Embedding {
+	rng := rand.New(rand.NewSource(seed))
+	src := matrix.NewDense(n, d)
+	dst := matrix.NewDense(m, d)
+	for i := range src.Data {
+		src.Data[i] = rng.NormFloat64()
+	}
+	for i := range dst.Data {
+		dst.Data[i] = rng.NormFloat64()
+	}
+	return &Embedding{Src: src, Dst: dst, SimFromDist2: func(d2 float64) float64 { return -d2 }}
+}
+
+func TestTopKEmbeddingMatchesDenseTopK(t *testing.T) {
+	for trial := int64(0); trial < 5; trial++ {
+		e := testEmbedding(40, 55, 4, 100+trial)
+		sim := e.Similarity()
+		k := 7
+		dense := TopKDense(sim, k, 1)
+		emb := TopKEmbedding(e, k, 1)
+		if emb.Rows != dense.Rows || emb.Cols != dense.Cols || emb.K != dense.K {
+			t.Fatalf("shape mismatch: %+v vs %+v", emb, dense)
+		}
+		for i := range dense.Col {
+			if dense.Col[i] != emb.Col[i] || dense.Val[i] != emb.Val[i] {
+				t.Fatalf("trial %d: k-NN candidates diverge from dense top-k at flat %d: (%d,%v) vs (%d,%v)",
+					trial, i, emb.Col[i], emb.Val[i], dense.Col[i], dense.Val[i])
+			}
+		}
+	}
+}
+
+func TestTopKEmbeddingTiesPreferLowerColumn(t *testing.T) {
+	// Duplicate target points force exact distance ties; the contract is
+	// ascending column id among ties, matching dense selection.
+	src := matrix.DenseFromRows([][]float64{{0, 0}})
+	dst := matrix.DenseFromRows([][]float64{{1, 0}, {1, 0}, {0, 0}, {1, 0}})
+	e := &Embedding{Src: src, Dst: dst, SimFromDist2: func(d2 float64) float64 { return -d2 }}
+	c := TopKEmbedding(e, 3, 1)
+	cols, _ := c.Row(0)
+	want := []int{2, 0, 1}
+	for i, j := range want {
+		if cols[i] != j {
+			t.Fatalf("tie order: got %v, want %v", cols, want)
+		}
+	}
+}
+
+func TestTopKEmbeddingParallelIdentical(t *testing.T) {
+	e := testEmbedding(600, 600, 3, 77)
+	serial := TopKEmbedding(e, 8, 1)
+	par := TopKEmbedding(e, 8, 4)
+	for i := range serial.Col {
+		if serial.Col[i] != par.Col[i] || serial.Val[i] != par.Val[i] {
+			t.Fatalf("parallel k-NN diverges from serial at flat index %d", i)
+		}
+	}
+}
+
+func candidatesFromRows(cols [][]int, vals [][]float64, m int) *Candidates {
+	n := len(cols)
+	k := len(cols[0])
+	c := &Candidates{Rows: n, Cols: m, K: k, Col: make([]int, n*k), Val: make([]float64, n*k)}
+	for i := range cols {
+		copy(c.Col[i*k:(i+1)*k], cols[i])
+		copy(c.Val[i*k:(i+1)*k], vals[i])
+	}
+	return c
+}
+
+func TestMatchable(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *Candidates
+		want bool
+	}{
+		{"identity", candidatesFromRows([][]int{{0}, {1}, {2}}, [][]float64{{1}, {1}, {1}}, 3), true},
+		{"all_same_column", candidatesFromRows([][]int{{0}, {0}, {0}}, [][]float64{{1}, {.9}, {.8}}, 4), false},
+		{"chain", candidatesFromRows([][]int{{0, 1}, {1, 2}, {2, 0}}, [][]float64{{1, 1}, {1, 1}, {1, 1}}, 3), true},
+		{"bottleneck", candidatesFromRows([][]int{{0, 1}, {0, 1}, {0, 1}}, [][]float64{{1, 1}, {1, 1}, {1, 1}}, 3), false},
+		{"rows_exceed_cols", &Candidates{Rows: 3, Cols: 2, K: 0}, false},
+		{"empty", &Candidates{Rows: 0, Cols: 0, K: 0}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Matchable(); got != tc.want {
+			t.Errorf("%s: Matchable() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMatchableMatchesGreedyFeasibilityRandom(t *testing.T) {
+	// Cross-check Hopcroft–Karp against brute force on small random graphs.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(3)
+		k := 1 + rng.Intn(minIntTest(3, m))
+		cols := make([][]int, n)
+		vals := make([][]float64, n)
+		for i := range cols {
+			perm := rng.Perm(m)[:k]
+			sort.Ints(perm)
+			cols[i] = perm
+			vals[i] = make([]float64, k)
+		}
+		c := candidatesFromRows(cols, vals, m)
+		if got, want := c.Matchable(), bruteMatchable(cols, m, n); got != want {
+			t.Fatalf("trial %d: Matchable=%v, brute=%v, cands=%v", trial, got, want, cols)
+		}
+	}
+}
+
+// bruteMatchable tries all ways to match rows to their candidates.
+func bruteMatchable(cols [][]int, m, n int) bool {
+	used := make([]bool, m)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for _, j := range cols[i] {
+			if !used[j] {
+				used[j] = true
+				if rec(i + 1) {
+					return true
+				}
+				used[j] = false
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func minIntTest(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

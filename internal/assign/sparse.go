@@ -13,42 +13,46 @@ import (
 // the candidate pool from n*m to n*k, which is the difference between
 // O(nm log(nm)) and O(nk log(nk)) sorting.
 //
-// Per-row candidates are found by true partial selection — a bounded
-// min-heap of size k, O(m log k) per row instead of the O(m log m) of a
-// full sort. Ties on value keep the smaller column index.
-//
-// Rows whose top-k candidates are all taken fall back to any free column
-// (lowest index), so the result is always a maximal one-to-one matching:
-// no row is left unmatched while a free column remains, on square and
-// rectangular (n > m or n < m) instances alike.
+// It is equivalent to SolveGreedySparse over TopKDense candidates (per-row
+// bounded-heap partial selection, ties on value keep the smaller column).
 func SolveGreedyTopK(sim *matrix.Dense, k int) []int {
-	n, m := sim.Rows, sim.Cols
-	if k <= 0 || k > m {
-		k = m
-	}
-	pairs := make([]pair, 0, n*k)
-	heap := make([]pair, 0, k)
-	for i := 0; i < n; i++ {
-		row := sim.Row(i)
-		// Bounded min-heap ordered by (v asc, j desc): the root is the
-		// weakest kept candidate, and among equal values the larger column
-		// index is evicted first, so ties resolve to smaller j.
-		heap = heap[:0]
-		for j, v := range row {
-			if len(heap) < k {
-				heap = append(heap, pair{i, j, v})
-				topKSiftUp(heap, len(heap)-1)
-				continue
-			}
-			// Candidates arrive in increasing j, so on equal value the
-			// incumbent (smaller j) wins and the newcomer is skipped.
-			if v <= heap[0].v {
-				continue
-			}
-			heap[0] = pair{i, j, v}
-			topKSiftDown(heap, 0)
+	return SolveGreedySparse(TopKDense(sim, k, 1))
+}
+
+// SolveNNSparse assigns each row its best candidate — by construction the
+// row's highest-similarity column with ties broken by lowest column index,
+// exactly matching SolveNN over the dense matrix. Like dense NN the result
+// may be many-to-one; compose with EnforceOneToOneSparse for the paper's
+// one-to-one restriction. Rows with no candidates (Cols == 0) map to -1.
+func SolveNNSparse(c *Candidates) []int {
+	mapping := make([]int, c.Rows)
+	for i := range mapping {
+		cols, _ := c.Row(i)
+		if len(cols) == 0 {
+			mapping[i] = -1
+			continue
 		}
-		pairs = append(pairs, heap...)
+		mapping[i] = cols[0]
+	}
+	return mapping
+}
+
+// SolveGreedySparse is SortGreedy over a candidate set: all candidates are
+// sorted by similarity descending — ties by (row, column) ascending, the
+// dense SolveGreedy order — and accepted whenever both endpoints are free.
+//
+// Rows whose candidates are all taken fall back to any free column (lowest
+// index), so the result is always a maximal one-to-one matching: no row is
+// left unmatched while a free column remains, on square and rectangular
+// (n > m or n < m) instances alike.
+func SolveGreedySparse(c *Candidates) []int {
+	n, m := c.Rows, c.Cols
+	pairs := make([]pair, 0, n*c.K)
+	for i := 0; i < n; i++ {
+		cols, vals := c.Row(i)
+		for ci, j := range cols {
+			pairs = append(pairs, pair{i, j, vals[ci]})
+		}
 	}
 	sort.Slice(pairs, func(a, b int) bool {
 		if pairs[a].v != pairs[b].v {
@@ -77,8 +81,8 @@ func SolveGreedyTopK(sim *matrix.Dense, k int) []int {
 		matched++
 	}
 	// Fallback for starved rows: any free column keeps the matching maximal
-	// (these rows had no surviving top-k candidate). This applies regardless
-	// of shape — when n > m the loop simply stops once the columns run out.
+	// (these rows had no surviving candidate). This applies regardless of
+	// shape — when n > m the loop simply stops once the columns run out.
 	if matched < n {
 		free := make([]int, 0, m-matched)
 		for j := 0; j < m; j++ {
@@ -96,6 +100,89 @@ func SolveGreedyTopK(sim *matrix.Dense, k int) []int {
 		}
 	}
 	return mapping
+}
+
+// EnforceOneToOneSparse is EnforceOneToOne restricted to a candidate set:
+// contested columns go to the claimant with the highest candidate value
+// (ties to the lowest row, matching the dense rule), and losers — taken in
+// ascending row order — fall back to their best free candidate (highest
+// value, then lowest column). Rows whose candidates are all taken take the
+// lowest free column, keeping the matching maximal. mapping[i] must be -1 or
+// one of row i's candidate columns (as produced by SolveNNSparse).
+func EnforceOneToOneSparse(c *Candidates, mapping []int) []int {
+	n, m := c.Rows, c.Cols
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	owner := make([]int, m)
+	for j := range owner {
+		owner[j] = -1
+	}
+	ownerV := make([]float64, m)
+	for i, j := range mapping {
+		if j < 0 || j >= m {
+			continue
+		}
+		v, ok := c.value(i, j)
+		if !ok {
+			continue
+		}
+		if owner[j] == -1 || v > ownerV[j] {
+			owner[j] = i
+			ownerV[j] = v
+		}
+	}
+	usedCol := make([]bool, m)
+	for j, i := range owner {
+		if i >= 0 {
+			out[i] = j
+			usedCol[j] = true
+		}
+	}
+	// Losers take their best free candidate: rows are sorted by descending
+	// value with ties on ascending column, so the first free candidate is it.
+	for i := 0; i < n; i++ {
+		if out[i] != -1 {
+			continue
+		}
+		cols, _ := c.Row(i)
+		for _, j := range cols {
+			if !usedCol[j] {
+				out[i] = j
+				usedCol[j] = true
+				break
+			}
+		}
+	}
+	// Maximality fallback for rows starved of candidates.
+	fj := 0
+	for i := 0; i < n; i++ {
+		if out[i] != -1 {
+			continue
+		}
+		for fj < m && usedCol[fj] {
+			fj++
+		}
+		if fj == m {
+			break
+		}
+		out[i] = fj
+		usedCol[fj] = true
+	}
+	return out
+}
+
+// value returns row i's candidate value for column j, with ok false when j
+// is not among row i's candidates.
+func (c *Candidates) value(i, j int) (float64, bool) {
+	cols, vals := c.Row(i)
+	for ci, cj := range cols {
+		if cj == j {
+			return vals[ci], true
+		}
+	}
+	return 0, false
 }
 
 // topKWeaker reports whether a is a weaker candidate than b under the
@@ -119,13 +206,19 @@ func topKSiftUp(h []pair, i int) {
 }
 
 func topKSiftDown(h []pair, i int) {
+	topKSiftDownN(h, i, len(h))
+}
+
+// topKSiftDownN sifts h[i] down within the heap prefix h[:length], which lets
+// the in-place heap-sort in TopKDense shrink the heap without reslicing.
+func topKSiftDownN(h []pair, i, length int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < len(h) && topKWeaker(h[l], h[min]) {
+		if l < length && topKWeaker(h[l], h[min]) {
 			min = l
 		}
-		if r < len(h) && topKWeaker(h[r], h[min]) {
+		if r < length && topKWeaker(h[r], h[min]) {
 			min = r
 		}
 		if min == i {

@@ -99,6 +99,18 @@ type Options struct {
 	// of that byte budget if Cache is nil — the knob behind alignbench's
 	// -cache-budget flag. Ignored when Cache is already set.
 	CacheBudgetBytes int64
+	// AssignTopK, when positive, routes every run's assignment through the
+	// sparse candidate pipeline: per-row top-k candidate generation (k-NN
+	// over raw embeddings for REGAL/CONE/GRASP, bounded-heap row selection
+	// otherwise) followed by the sparse variant of the cell's assignment
+	// method — exact methods become the ε-scaling auction, which falls back
+	// to dense JV when the candidate graph leaves rows unmatchable. The
+	// sparse solvers are deterministic for any Workers value. Zero (the
+	// default) keeps the dense solvers and is byte-identical to the
+	// pre-sparse pipeline; positive values trade a bounded amount of
+	// assignment quality for large speedups at scale (see DESIGN.md §11).
+	// The knob behind alignbench's -assign-topk flag.
+	AssignTopK int
 
 	// expID is the running experiment's id, set by RunExperiment so that
 	// checkpoint records are keyed per experiment. Experiments invoked
@@ -132,6 +144,11 @@ func (o *Options) obsv() *obsState {
 		return o.obs
 	}
 	return &fallbackObs
+}
+
+// runSpec assembles the per-run configuration from the experiment options.
+func (o *Options) runSpec() RunSpec {
+	return RunSpec{Tracer: o.Tracer, Budget: o.RunTimeout, AssignTopK: o.AssignTopK, Workers: o.Workers}
 }
 
 // ctx returns the run context, defaulting to the never-cancelled background
@@ -424,10 +441,10 @@ func runInstances(opts Options, cell, label string, build func(i int) (algo.Alig
 		case opts.MemProfile:
 			// Deliberately no cache in profiled mode: AllocBytes measures one
 			// algorithm's own footprint, which shared artifacts would distort.
-			runs[i] = runInstanceProfiled(ctx, a, pairs[i], method, opts.Tracer, opts.RunTimeout)
+			runs[i] = runInstanceProfiled(ctx, a, pairs[i], method, opts.runSpec())
 		default:
 			algo.ApplyCache(a, opts.Cache)
-			runs[i] = RunInstanceCtx(ctx, a, pairs[i], method, opts.Tracer, opts.RunTimeout)
+			runs[i] = RunInstanceSpec(ctx, a, pairs[i], method, opts.runSpec())
 		}
 		// A run cut short by grid-wide cancellation (as opposed to its own
 		// budget) is incomplete, not failed: leave it out of the journal so a

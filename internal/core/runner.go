@@ -17,6 +17,7 @@ import (
 
 	"graphalign/internal/algo"
 	"graphalign/internal/assign"
+	"graphalign/internal/matrix"
 	"graphalign/internal/metrics"
 	"graphalign/internal/noise"
 	"graphalign/internal/obsv"
@@ -66,6 +67,29 @@ func RunInstanceTraced(a algo.Aligner, pair noise.Pair, method assign.Method, tr
 	return RunInstanceCtx(context.Background(), a, pair, method, tr, 0)
 }
 
+// RunSpec bundles the optional knobs of a single run: observability,
+// fault-tolerance, and the sparse assignment pipeline. The zero value means
+// untraced, unbounded, dense assignment — exactly RunInstance.
+type RunSpec struct {
+	// Tracer receives run/phase spans; nil disables tracing.
+	Tracer *obsv.Tracer
+	// Budget bounds the run's wall clock (off when zero); see RunInstanceCtx.
+	Budget time.Duration
+	// AssignTopK, when positive, routes the assignment through the sparse
+	// candidate pipeline: the similarity is reduced to per-row top-k
+	// candidates (via k-NN over raw embeddings for algo.EmbeddingAligners,
+	// skipping the dense matrix entirely; via bounded-heap row selection
+	// otherwise) and solved by the sparse variant of the requested method —
+	// exact methods map to the ε-scaling auction with a dense-JV fallback
+	// when rows are unmatchable. Zero keeps the dense solvers and is
+	// byte-identical to the pre-sparse pipeline.
+	AssignTopK int
+	// Workers bounds the sparse pipeline's intra-run parallel fan-out
+	// (candidate generation and auction bidding rounds); 0 means one per
+	// CPU. Results are identical for any value.
+	Workers int
+}
+
 // RunInstanceCtx is the fault-tolerant run entry point: the similarity stage
 // observes ctx through the algorithm's cooperative cancellation checks, a
 // positive budget bounds the run's wall clock (deadline exceeded becomes a
@@ -75,7 +99,14 @@ func RunInstanceTraced(a algo.Aligner, pair noise.Pair, method assign.Method, tr
 // budget it is exactly RunInstanceTraced. A parent-context cancellation
 // (ctx.Err() == context.Canceled) passes through unclassified so callers
 // can distinguish "the whole grid was stopped" from "this run timed out".
-func RunInstanceCtx(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer, budget time.Duration) (res RunResult) {
+func RunInstanceCtx(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer, budget time.Duration) RunResult {
+	return RunInstanceSpec(ctx, a, pair, method, RunSpec{Tracer: tr, Budget: budget})
+}
+
+// RunInstanceSpec is RunInstanceCtx with the full run configuration,
+// including the sparse assignment pipeline (RunSpec.AssignTopK).
+func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, spec RunSpec) (res RunResult) {
+	tr, budget := spec.Tracer, spec.Budget
 	if budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, budget)
@@ -101,9 +132,23 @@ func RunInstanceCtx(ctx context.Context, a algo.Aligner, pair noise.Pair, method
 		}
 	}()
 
+	// Similarity stage. With the sparse pipeline on and an aligner that can
+	// expose embeddings, the dense matrix is never materialized: the stage
+	// produces the factored form instead.
+	sparse := spec.AssignTopK > 0
+	var emb *assign.Embedding
+	ea, haveEmb := a.(algo.EmbeddingAligner)
+	useEmb := sparse && haveEmb
+	var sim *matrix.Dense
+	var err error
 	sp := run.Phase("similarity")
 	t0 := time.Now()
-	sim, err := algo.Similarity(ctx, a, pair.Source, pair.Target)
+	if useEmb {
+		sp.Set("factored", true)
+		emb, err = ea.EmbeddingsCtx(ctx, pair.Source, pair.Target)
+	} else {
+		sim, err = algo.Similarity(ctx, a, pair.Source, pair.Target)
+	}
 	res.SimilarityTime = time.Since(t0)
 	sp.End()
 	if err != nil {
@@ -113,17 +158,43 @@ func RunInstanceCtx(ctx context.Context, a algo.Aligner, pair noise.Pair, method
 
 	sp = run.Phase("assign")
 	sp.Set("method", string(method))
-	sp.Set("size", sim.Rows)
-	reg.Histogram("lap_solve_size", obsv.SizeBuckets()).Observe(float64(sim.Rows))
+	n := pair.Source.N()
+	sp.Set("size", n)
+	reg.Histogram("lap_solve_size", obsv.SizeBuckets()).Observe(float64(n))
 	t1 := time.Now()
-	mapping, err := assign.Solve(method, sim)
+	var mapping []int
+	if sparse {
+		sp.Set("topk", spec.AssignTopK)
+		var cands *assign.Candidates
+		var dense func() *matrix.Dense
+		if useEmb {
+			cands = assign.TopKEmbedding(emb, spec.AssignTopK, spec.Workers)
+			dense = emb.Similarity
+		} else {
+			cands = assign.TopKDense(sim, spec.AssignTopK, spec.Workers)
+			dense = func() *matrix.Dense { return sim }
+		}
+		var stats assign.SparseStats
+		mapping, stats, err = assign.SolveSparse(method, cands, dense, spec.Workers)
+		if err == nil {
+			reg.Histogram("assign_candidates_per_row", obsv.SizeBuckets()).Observe(float64(stats.CandidatesPerRow))
+			reg.Histogram("assign_auction_rounds", obsv.SizeBuckets()).Observe(float64(stats.Rounds))
+			sp.Set("auction_rounds", stats.Rounds)
+			if stats.FellBack {
+				reg.Counter("assign_fallbacks_total").Add(1)
+				sp.Set("fallback", true)
+			}
+		}
+	} else {
+		mapping, err = assign.Solve(method, sim)
+		if err == nil && method == assign.NearestNeighbor {
+			mapping = assign.EnforceOneToOne(sim, mapping)
+		}
+	}
 	if err != nil {
 		sp.End()
 		res.Err = fmt.Errorf("assignment: %w", err)
 		return endRunErr(run, reg, res)
-	}
-	if method == assign.NearestNeighbor {
-		mapping = assign.EnforceOneToOne(sim, mapping)
 	}
 	res.AssignTime = time.Since(t1)
 	sp.End()
@@ -168,15 +239,15 @@ var memProfileMu sync.Mutex
 // included, so treat AllocBytes as an upper-bound proxy for the paper's
 // peak-memory numbers, not an exact footprint.
 func RunInstanceProfiled(a algo.Aligner, pair noise.Pair, method assign.Method) RunResult {
-	return runInstanceProfiled(context.Background(), a, pair, method, nil, 0)
+	return runInstanceProfiled(context.Background(), a, pair, method, RunSpec{})
 }
 
-func runInstanceProfiled(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, tr *obsv.Tracer, budget time.Duration) RunResult {
+func runInstanceProfiled(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, spec RunSpec) RunResult {
 	memProfileMu.Lock()
 	defer memProfileMu.Unlock()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	res := RunInstanceCtx(ctx, a, pair, method, tr, budget)
+	res := RunInstanceSpec(ctx, a, pair, method, spec)
 	runtime.ReadMemStats(&after)
 	res.AllocBytes = after.TotalAlloc - before.TotalAlloc
 	return res

@@ -65,10 +65,21 @@ type result struct {
 	dist float64 // squared distance
 }
 
+// resultHeap is a max-heap ordered worst-first: larger distance first, and
+// among equal distances the larger id. The root is therefore the candidate
+// evicted first, which makes the kept k-set — and the final best-first
+// ordering — prefer lower ids on distance ties. This tie contract is what
+// lets the sparse assignment pipeline's k-NN candidates agree with dense
+// per-row top-k selection (both resolve ties to the lowest index).
 type resultHeap []result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist } // max-heap
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist > h[j].dist
+	}
+	return h[i].id > h[j].id
+}
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(result)) }
 func (h *resultHeap) Pop() interface{} {
@@ -80,8 +91,10 @@ func (h *resultHeap) Pop() interface{} {
 }
 
 // NearestK returns the ids and squared Euclidean distances of the k points
-// nearest to q, ordered by increasing distance. Fewer than k results are
-// returned when the tree holds fewer points.
+// nearest to q, ordered by increasing distance with ties broken by lower id.
+// Fewer than k results are returned when the tree holds fewer points. The
+// result is a pure function of (tree, q, k) — queries are deterministic and
+// safe to issue concurrently from multiple goroutines.
 func (t *Tree) NearestK(q []float64, k int) (ids []int, dists []float64) {
 	if t.root == -1 || k <= 0 {
 		return nil, nil
@@ -117,7 +130,7 @@ func (t *Tree) search(ni int, q []float64, k int, h *resultHeap) {
 	d := sqDist(p, q)
 	if h.Len() < k {
 		heap.Push(h, result{nd.id, d})
-	} else if d < (*h)[0].dist {
+	} else if worst := (*h)[0]; d < worst.dist || (d == worst.dist && nd.id < worst.id) {
 		heap.Pop(h)
 		heap.Push(h, result{nd.id, d})
 	}
@@ -127,7 +140,9 @@ func (t *Tree) search(ni int, q []float64, k int, h *resultHeap) {
 		first, second = nd.right, nd.left
 	}
 	t.search(first, q, k, h)
-	if h.Len() < k || diff*diff < (*h)[0].dist {
+	// <= rather than <: a point exactly on the splitting boundary can tie the
+	// current worst distance with a lower id, which the tie contract prefers.
+	if h.Len() < k || diff*diff <= (*h)[0].dist {
 		t.search(second, q, k, h)
 	}
 }

@@ -106,6 +106,76 @@ func TestNearestKOrdering(t *testing.T) {
 	}
 }
 
+// bruteNearestKTied is bruteNearestK with the full tie contract the sparse
+// candidate pipeline relies on: ascending distance, then ascending id.
+func bruteNearestKTied(pts [][]float64, q []float64, k int) []int {
+	type pd struct {
+		id int
+		d  float64
+	}
+	all := make([]pd, len(pts))
+	for i, p := range pts {
+		var s float64
+		for j := range p {
+			d := p[j] - q[j]
+			s += d * d
+		}
+		all[i] = pd{i, s}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d != all[b].d {
+			return all[a].d < all[b].d
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// TestNearestKTieContract pins the documented ordering — (distance asc,
+// id asc) — which TopKEmbedding needs to agree bitwise with dense top-k
+// selection. Quantized coordinates force many exact distance ties.
+func TestNearestKTieContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{float64(rng.Intn(3)), float64(rng.Intn(3))}
+		}
+		tr := Build(pts)
+		q := []float64{float64(rng.Intn(3)), float64(rng.Intn(3))}
+		for _, k := range []int{1, 3, n} {
+			gotIDs, gotDs := tr.NearestK(q, k)
+			wantIDs := bruteNearestKTied(pts, q, k)
+			for i := range wantIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("trial %d k=%d: ids %v, want %v (dists %v)", trial, k, gotIDs, wantIDs, gotDs)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicatePointTies(t *testing.T) {
+	// Exact duplicates must surface in ascending id order.
+	pts := [][]float64{{2, 2}, {1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tr := Build(pts)
+	ids, ds := tr.NearestK([]float64{1, 1}, 5)
+	want := []int{1, 2, 3, 0, 4}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v (ds %v), want %v", ids, ds, want)
+		}
+	}
+}
+
 func TestDuplicatePoints(t *testing.T) {
 	pts := [][]float64{{1, 1}, {1, 1}, {2, 2}}
 	tr := Build(pts)

@@ -172,6 +172,41 @@ func MulABT(a, b *Dense) *Dense {
 	return out
 }
 
+// PairwiseSqDist returns the a.Rows x b.Rows matrix of squared Euclidean
+// distances between rows of a and rows of b. Large products are row-blocked
+// across the worker pool; each output row is computed by exactly one
+// goroutine with the same inner-loop order as the serial kernel, so the
+// result is bitwise identical for any worker count. This is the shared
+// kernel behind the embedding-based similarity matrices (REGAL, CONE) and
+// the dense fallback of the sparse assignment pipeline.
+func PairwiseSqDist(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: pairwiseSqDist dim mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Rows)
+	distRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				rj := b.Row(j)
+				var d2 float64
+				for k, v := range ri {
+					d := v - rj[k]
+					d2 += d * d
+				}
+				orow[j] = d2
+			}
+		}
+	}
+	if work := a.Rows * a.Cols * b.Rows; work >= parallelFlops {
+		parallel.Blocks(0, a.Rows, distRows)
+	} else {
+		distRows(0, a.Rows)
+	}
+	return out
+}
+
 // MulVec returns m*x.
 func (m *Dense) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {

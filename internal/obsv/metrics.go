@@ -18,11 +18,14 @@ import (
 //
 // The experiment framework populates, among others:
 //
-//	runs_total          every algorithm run started
-//	run_errors_total    runs that ended with any error
-//	run_timeouts_total  runs cancelled by the per-run wall-clock budget
-//	run_panics_total    runs that panicked and were recovered in the worker
-//	lap_solve_size      histogram of assignment problem sizes
+//	runs_total                 every algorithm run started
+//	run_errors_total           runs that ended with any error
+//	run_timeouts_total         runs cancelled by the per-run wall-clock budget
+//	run_panics_total           runs that panicked and were recovered in the worker
+//	lap_solve_size             histogram of assignment problem sizes
+//	assign_candidates_per_row  histogram of sparse-pipeline candidate counts (k)
+//	assign_auction_rounds      histogram of auction bidding rounds per solve
+//	assign_fallbacks_total     sparse solves that fell back to dense JV
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -340,6 +343,17 @@ func SizeBuckets() []float64 {
 	for i := range out {
 		out[i] = v
 		v *= 4
+	}
+	return out
+}
+
+// LinearBuckets returns count bucket bounds starting at lo, spaced by step.
+// For quantities with a narrow known range (candidate counts, retry counts)
+// where the exponential layouts above would lump everything into one bucket.
+func LinearBuckets(lo, step float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = lo + float64(i)*step
 	}
 	return out
 }

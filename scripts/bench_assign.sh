@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the assignment-stage benchmarks and writes BENCH_assign.json:
+# a flat map of benchmark name -> {ns_per_op, allocs_per_op}.
+#
+# Usage: scripts/bench_assign.sh [output.json]
+# From the repo root. Pass -short via GOFLAGS if needed.
+set -euo pipefail
+
+out="${1:-BENCH_assign.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/assign -run NONE -bench . -benchmem -count=1 | tee "$tmp" >&2
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)       # strip GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, (allocs == "" ? 0 : allocs)
+}
+END { print "\n}" }
+' "$tmp" > "$out"
+
+echo "wrote $out" >&2
