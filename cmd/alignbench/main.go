@@ -38,8 +38,9 @@
 //	                       byte-identical with the cache on or off
 //	-assign-topk 10        sparse assignment: reduce each similarity to
 //	                       per-row top-k candidates (k-NN over embeddings for
-//	                       REGAL/CONE/GRASP) and solve with sparse NN/SG or
-//	                       the ε-scaling auction instead of dense JV/MWM —
+//	                       REGAL/CONE/GRASP, factor-space scoring for
+//	                       NSD/LREA) and solve with sparse NN/SG or the
+//	                       ε-scaling auction instead of dense JV/MWM —
 //	                       the one performance knob that can change results
 //	                       (deterministically; see DESIGN.md §11). 0 = off,
 //	                       byte-identical to the dense pipeline.
@@ -99,7 +100,7 @@ func runCLI() error {
 		workers     = flag.Int("workers", 0, "concurrent runs per experiment cell (0 = one per CPU, 1 = sequential)")
 		runTimeout  = flag.Duration("run-timeout", 0, "wall-clock budget per algorithm run (0 = off); over-budget runs are marked failed, the rest of the grid completes")
 		cacheBudget = flag.String("cache-budget", "", "share per-graph artifacts (spectra, embeddings, graphlet counts) across algorithms and reps, capped at this size (e.g. 512MiB, 1GB; 0 = off); results are byte-identical either way")
-		assignTopK  = flag.Int("assign-topk", 0, "sparse assignment pipeline: per-row top-k candidate generation + sparse solvers (auction for JV/MWM); 0 = off (dense, byte-identical to default)")
+		assignTopK  = flag.Int("assign-topk", 0, "sparse assignment pipeline: per-row top-k candidate generation (k-NN over embeddings, factor-space scoring for NSD/LREA) + sparse solvers (auction for JV/MWM); 0 = off (dense, byte-identical to default)")
 		ckptPath    = flag.String("checkpoint", "", "journal completed runs to this JSONL file")
 		resume      = flag.Bool("resume", false, "skip runs already journaled in -checkpoint")
 		traceOut    = flag.String("trace-out", "", "write span/metric events as JSONL to this file")

@@ -31,9 +31,9 @@ func TestConformance(t *testing.T) {
 	cases := []algotest.Conformance{
 		{Name: "IsoRank", New: mk("IsoRank"), N: 80, SelfMinAcc: 0.9},
 		{Name: "GRAAL", New: mk("GRAAL"), N: 80, SelfMinAcc: 0.85},
-		{Name: "NSD", New: mk("NSD"), N: 80, SelfMinAcc: 0.85},
-		{Name: "LREA", New: mk("LREA"), N: 80, SelfMinAcc: 0.9},
-		{Name: "REGAL", New: mk("REGAL"), N: 80, SelfMinAcc: 0.8, RelabelTol: 0.25},
+		{Name: "NSD", New: mk("NSD"), N: 80, SelfMinAcc: 0.85, SparseTopK: 16},
+		{Name: "LREA", New: mk("LREA"), N: 80, SelfMinAcc: 0.9, SparseTopK: 16},
+		{Name: "REGAL", New: mk("REGAL"), N: 80, SelfMinAcc: 0.8, RelabelTol: 0.25, SparseTopK: 16},
 		{Name: "GWL", New: mk("GWL"), N: 60, SelfMinAcc: 0.7, RelabelTol: 0.25},
 		{Name: "S-GWL", New: mk("S-GWL"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25},
 		{Name: "CONE", New: mk("CONE"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25},

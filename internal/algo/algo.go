@@ -70,6 +70,19 @@ type EmbeddingAligner interface {
 	EmbeddingsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.Embedding, error)
 }
 
+// FactorAligner is optionally implemented by aligners whose similarity
+// matrix is an explicit low-rank sum of outer products (NSD's iterated
+// degree-vector series, LREA's factored power iteration). FactorsCtx returns
+// that factored form without materializing the dense |V_src| x |V_dst|
+// product, so the sparse assignment pipeline can score per-row top-k
+// candidates straight off the factors. The contract is bitwise:
+// FactorEmbedding.Similarity() must equal what SimilarityCtx returns under
+// the same ctx (the same AddOuterScaled accumulation in the same term
+// order), and the returned factors are private to the caller.
+type FactorAligner interface {
+	FactorsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.FactorEmbedding, error)
+}
+
 // Instrumented is optionally implemented by aligners that can report the
 // inner phases of Similarity (eigendecompositions, optimal-transport
 // recursions, power-iteration convergence) through an observability span.
@@ -153,13 +166,14 @@ func AlignTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method
 
 // AlignSparseTimedCtx is AlignTimedCtx through the sparse assignment
 // pipeline: the similarity is reduced to per-row top-k candidates — via k-NN
-// over raw embeddings for EmbeddingAligners (never materializing the dense
-// matrix), via bounded-heap row selection otherwise — and solved by the
-// sparse variant of the requested method (exact methods map to the ε-scaling
-// auction, with a dense-JV fallback when the candidate graph leaves rows
-// unmatchable; see assign.SolveSparse). topk <= 0 keeps every column.
-// Candidate generation is accounted to assignTime: simTime keeps the
-// paper's meaning of "similarity computation only".
+// over raw embeddings for EmbeddingAligners, via factor-space scoring for
+// FactorAligners (neither materializes the dense matrix), via bounded-heap
+// row selection otherwise — and solved by the sparse variant of the
+// requested method (exact methods map to the ε-scaling auction, with a
+// dense-JV fallback when the candidate graph leaves rows unmatchable; see
+// assign.SolveSparse). topk <= 0 keeps every column. Candidate generation is
+// accounted to assignTime: simTime keeps the paper's meaning of "similarity
+// computation only".
 func AlignSparseTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method assign.Method, topk, workers int) (mapping []int, simTime, assignTime time.Duration, stats assign.SparseStats, err error) {
 	if src.N() > dst.N() {
 		return nil, 0, 0, stats, fmt.Errorf("algo: source graph larger than target (%d > %d)", src.N(), dst.N())
@@ -176,6 +190,17 @@ func AlignSparseTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, 
 		t1 := time.Now()
 		cands = assign.TopKEmbedding(emb, topk, workers)
 		dense = emb.Similarity
+		defer func() { assignTime += time.Since(t1) }()
+	} else if fa, ok := a.(FactorAligner); ok {
+		t0 := time.Now()
+		fac, ferr := fa.FactorsCtx(ctx, src, dst)
+		simTime = time.Since(t0)
+		if ferr != nil {
+			return nil, simTime, 0, stats, fmt.Errorf("algo: %s factors: %w", a.Name(), ferr)
+		}
+		t1 := time.Now()
+		cands = assign.TopKFactor(fac, topk, workers)
+		dense = fac.Similarity
 		defer func() { assignTime += time.Since(t1) }()
 	} else {
 		t0 := time.Now()

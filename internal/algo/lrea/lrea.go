@@ -75,8 +75,29 @@ func (l *LREA) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 }
 
 // SimilarityCtx implements algo.ContextAligner; ctx is checked once per
-// factored power iteration.
+// factored power iteration. Densification runs the same AddOuterScaled
+// calls in the same term order as FactorEmbedding.Similarity, so this and
+// the FactorsCtx path agree bitwise.
 func (l *LREA) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	x, err := l.computeFactors(ctx, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return x.Similarity(), nil
+}
+
+// FactorsCtx implements algo.FactorAligner: the final factored iterate X as
+// the rank-one term list the published algorithm maintains internally —
+// LREA never needs the dense matrix at all on the sparse pipeline. Like
+// SimilarityCtx, each call recomputes (the iteration reads only cached
+// adjacencies); the returned factors are private to the caller.
+func (l *LREA) FactorsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.FactorEmbedding, error) {
+	return l.computeFactors(ctx, src, dst)
+}
+
+// computeFactors runs the factored power iteration and returns the final
+// iterate as an ordered rank-one term list with unit weights.
+func (l *LREA) computeFactors(ctx context.Context, src, dst *graph.Graph) (*assign.FactorEmbedding, error) {
 	n, m := src.N(), dst.N()
 	if n == 0 || m == 0 {
 		return nil, errors.New("lrea: empty graph")
@@ -196,12 +217,7 @@ func (l *LREA) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matri
 		}
 	}
 
-	// Densify the final similarity.
-	simD := matrix.NewDense(n, m)
-	for i := range x.us {
-		simD.AddOuterScaled(x.us[i], x.vs[i], 1)
-	}
-	return simD, nil
+	return &assign.FactorEmbedding{Us: x.us, Vs: x.vs}, nil
 }
 
 // renormalize scales the factored X to unit Frobenius-like norm using the

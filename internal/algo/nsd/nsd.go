@@ -87,8 +87,23 @@ func (n *NSD) SimilarityCtx(ctx context.Context, src, dst *graph.Graph) (*matrix
 	return v.(*matrix.Dense).Clone(), nil
 }
 
-// computeSimilarity is the uncached NSD pipeline.
+// computeSimilarity is the uncached NSD pipeline: the factored power series
+// densified term by term. Densification runs the same AddOuterScaled calls
+// in the same term order as FactorEmbedding.Similarity, so the dense and
+// factored paths agree bitwise.
 func (n *NSD) computeSimilarity(ctx context.Context, src, dst *graph.Graph) (*matrix.Dense, error) {
+	f, err := n.computeFactors(ctx, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return f.Similarity(), nil
+}
+
+// computeFactors runs the NSD iteration but keeps the result in factored
+// form: one rank-one term (z_c^(k), w_c^(k), weight) per component c and
+// power-series index k, in the accumulation order of the original dense
+// loop. Components x (Iters+1) terms in total.
+func (n *NSD) computeFactors(ctx context.Context, src, dst *graph.Graph) (*assign.FactorEmbedding, error) {
 	ns, nd := src.N(), dst.N()
 	if ns == 0 || nd == 0 {
 		return nil, errors.New("nsd: empty graph")
@@ -120,7 +135,7 @@ func (n *NSD) computeSimilarity(ctx context.Context, src, dst *graph.Graph) (*ma
 	tSrc := cache.RowNormalizedAdjacency(n.cache, src)
 	tDst := cache.RowNormalizedAdjacency(n.cache, dst)
 
-	sim := matrix.NewDense(ns, nd)
+	f := &assign.FactorEmbedding{}
 	alpha := n.Alpha
 	for c := 0; c < len(sv); c++ {
 		scale := sqrtAbs(sv[c])
@@ -142,7 +157,11 @@ func (n *NSD) computeSimilarity(ctx context.Context, src, dst *graph.Graph) (*ma
 			if k == iters {
 				weight = ak // the closing alpha^n term
 			}
-			sim.AddOuterScaled(z, w, weight)
+			// MulVec returns fresh slices, so the appended z and w stay
+			// untouched by later iterations.
+			f.Us = append(f.Us, z)
+			f.Vs = append(f.Vs, w)
+			f.Weights = append(f.Weights, weight)
 			if k == iters {
 				break
 			}
@@ -151,7 +170,30 @@ func (n *NSD) computeSimilarity(ctx context.Context, src, dst *graph.Graph) (*ma
 			ak *= alpha
 		}
 	}
-	return sim, nil
+	return f, nil
+}
+
+// FactorsCtx implements algo.FactorAligner: the NSD power series in its
+// natural factored form, Components x (Iters+1) rank-one terms whose
+// densification is bitwise SimilarityCtx's result. With a cache attached the
+// factor bundle is memoized per (pair, params) — under its own key, distinct
+// from the densified nsdsim entry — and a deep clone is returned.
+func (n *NSD) FactorsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.FactorEmbedding, error) {
+	if n.cache == nil {
+		return n.computeFactors(ctx, src, dst)
+	}
+	key := fmt.Sprintf("%s/nsdfac/a%g/i%d/c%d", cache.PairKey(src, dst), n.Alpha, n.Iters, n.Components)
+	v, err := n.cache.GetOrCompute(ctx, key, func() (any, int64, error) {
+		f, err := n.computeFactors(ctx, src, dst)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, f.Bytes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*assign.FactorEmbedding).Clone(), nil
 }
 
 func sqrtAbs(x float64) float64 {

@@ -1,6 +1,7 @@
 package algotest
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,6 +33,12 @@ type Conformance struct {
 	// default of 0.15 — relabeling changes float summation orders, so exact
 	// equality is not required, but the structural outcome must hold.
 	RelabelTol float64
+	// SparseTopK, when positive, additionally runs the sparse-pipeline
+	// contracts with this per-row candidate count: sparse self-alignment
+	// must clear SelfMinAcc, and aligners exposing a factored similarity
+	// (algo.FactorAligner / algo.EmbeddingAligner) must produce candidates
+	// identical to dense top-k selection over the materialized matrix.
+	SparseTopK int
 }
 
 // RunConformance runs the three framework-level contracts every aligner
@@ -56,6 +63,16 @@ func RunConformance(t *testing.T, cases []Conformance) {
 			t.Parallel()
 			CheckCacheByteIdentity(t, c.New, c.N)
 		})
+		if c.SparseTopK > 0 {
+			t.Run(c.Name+"/sparse_self_alignment", func(t *testing.T) {
+				t.Parallel()
+				CheckSparseSelfAlignment(t, c.New(), c.N, c.SparseTopK, c.SelfMinAcc)
+			})
+			t.Run(c.Name+"/sparse_candidate_identity", func(t *testing.T) {
+				t.Parallel()
+				CheckSparseCandidateIdentity(t, c.New(), c.N, c.SparseTopK)
+			})
+		}
 	}
 }
 
@@ -105,6 +122,73 @@ func CheckRelabelInvariance(t *testing.T, mk func() algo.Aligner, n int, tol flo
 
 	if d := accBase - accRelabel; d > tol || -d > tol {
 		t.Errorf("accuracy moved %.3f -> %.3f under relabeling (tol %.2f)", accBase, accRelabel, tol)
+	}
+}
+
+// CheckSparseSelfAlignment is CheckSelfAlignment through the sparse
+// assignment pipeline (per-row top-k candidates, ε-scaling auction): the
+// reduced candidate set must still recover an identity-dominant mapping at
+// the same bar as the dense solve — on self-alignment the true match is the
+// strongest-scoring column, so top-k pruning must not lose it.
+func CheckSparseSelfAlignment(t *testing.T, a algo.Aligner, n, topk int, minAcc float64) {
+	t.Helper()
+	base := Pair(t, n, 0, 4242).Source
+	identity := make([]int, base.N())
+	for i := range identity {
+		identity[i] = i
+	}
+	mapping, _, _, _, err := algo.AlignSparseTimedCtx(context.Background(), a, base, base,
+		assign.JonkerVolgenant, topk, 1)
+	if err != nil {
+		t.Fatalf("%s: sparse self-alignment failed: %v", a.Name(), err)
+	}
+	if acc := metrics.Accuracy(mapping, identity); acc < minAcc {
+		t.Errorf("%s: sparse self-alignment accuracy %.3f < %.3f", a.Name(), acc, minAcc)
+	}
+}
+
+// CheckSparseCandidateIdentity asserts the factored candidate contract for
+// aligners exposing a factored similarity: candidates generated straight
+// from the factors (never materializing the dense matrix) must equal dense
+// top-k selection over the materialized matrix entry for entry — same
+// columns, bitwise the same scores. Aligners with neither factored form are
+// skipped.
+func CheckSparseCandidateIdentity(t *testing.T, a algo.Aligner, n, topk int) {
+	t.Helper()
+	p := Pair(t, n, 0.02, 99991)
+	ctx := context.Background()
+
+	var sparse, dense *assign.Candidates
+	switch fa := a.(type) {
+	case algo.EmbeddingAligner:
+		emb, err := fa.EmbeddingsCtx(ctx, p.Source, p.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse = assign.TopKEmbedding(emb, topk, 1)
+		dense = assign.TopKDense(emb.Similarity(), topk, 1)
+	case algo.FactorAligner:
+		f, err := fa.FactorsCtx(ctx, p.Source, p.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse = assign.TopKFactor(f, topk, 1)
+		dense = assign.TopKDense(f.Similarity(), topk, 1)
+	default:
+		t.Skipf("%s exposes no factored similarity", a.Name())
+	}
+	if sparse.Rows != dense.Rows || sparse.Cols != dense.Cols || sparse.K != dense.K {
+		t.Fatalf("%s: candidate shape (%d,%d,%d) vs dense (%d,%d,%d)", a.Name(),
+			sparse.Rows, sparse.Cols, sparse.K, dense.Rows, dense.Cols, dense.K)
+	}
+	for i := range dense.Col {
+		if sparse.Col[i] != dense.Col[i] || sparse.Val[i] != dense.Val[i] {
+			t.Fatalf("%s: factored candidates diverge from dense top-k at flat %d: (%d,%v) vs (%d,%v)",
+				a.Name(), i, sparse.Col[i], sparse.Val[i], dense.Col[i], dense.Val[i])
+		}
+	}
+	if sparse.Len != nil {
+		t.Errorf("%s: factored candidates pruned rows (Len=%v) on a finite similarity", a.Name(), sparse.Len)
 	}
 }
 

@@ -88,6 +88,18 @@ func SolveSparse(method Method, c *Candidates, dense func() *matrix.Dense, worke
 	case SortGreedySparse:
 		return SolveGreedySparse(c), stats, nil
 	}
+	// A row left without candidates by factor-space pruning can never be
+	// matched: Hopcroft–Karp would report the graph unmatchable and the
+	// solve would silently land on the dense fallback, masking the defect.
+	// Surface it as a typed error instead (NN/SG above have documented
+	// free-column fallbacks and stay permissive).
+	if c.Len != nil {
+		for i, l := range c.Len {
+			if l == 0 {
+				return nil, stats, &StarvedRowError{Row: i}
+			}
+		}
+	}
 	mapping, st, ok := SolveAuction(c, workers)
 	st.CandidatesPerRow = c.K
 	if ok {
@@ -142,17 +154,24 @@ func SolveAuction(c *Candidates, workers int) ([]int, SparseStats, bool) {
 	}
 
 	// Value spread drives the ε schedule. Virtual padding rows hold value 0,
-	// so the spread must cover 0 when padding is present.
+	// so the spread must cover 0 when padding is present. Rows are scanned
+	// through Row so pruned-short rows (Candidates.Len) contribute only
+	// their live candidates, not the flat-array padding.
 	minV, maxV := math.Inf(1), math.Inf(-1)
-	for _, v := range c.Val {
-		if v < minV {
-			minV = v
-		}
-		if v > maxV {
-			maxV = v
+	seen := 0
+	for i := 0; i < n; i++ {
+		_, vals := c.Row(i)
+		seen += len(vals)
+		for _, v := range vals {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
 		}
 	}
-	if m > n || len(c.Val) == 0 {
+	if m > n || seen == 0 {
 		if minV > 0 {
 			minV = 0
 		}
@@ -187,9 +206,13 @@ func SolveAuction(c *Candidates, workers int) ([]int, SparseStats, bool) {
 
 	// bid computes person p's favored column and bid price under the current
 	// prices. Persons >= n are virtual padding with value 0 on every column.
-	// With a single viable candidate, second stays -Inf and the bid is +Inf:
-	// the person claims the column permanently, which is sound because
-	// matchability was verified up front.
+	// With a single viable candidate, second stays -Inf; the bid premium is
+	// then capped at one value spread rather than +Inf. An infinite price
+	// would poison later ε phases: the phase restart keeps prices, the row's
+	// only net value becomes -Inf, and the row can never bid again — the
+	// phase then spins to the round cap and falls back. A spread-sized
+	// overbid still dominates every competing finite net while keeping the
+	// next phase solvable.
 	bid := func(p int, eps float64) (int, float64) {
 		best, second := math.Inf(-1), math.Inf(-1)
 		bestJ := -1
@@ -217,6 +240,9 @@ func SolveAuction(c *Candidates, workers int) ([]int, SparseStats, bool) {
 		}
 		if bestJ == -1 {
 			return -1, 0
+		}
+		if math.IsInf(second, -1) {
+			second = best - spread
 		}
 		return bestJ, price[bestJ] + (best - second) + eps
 	}

@@ -71,10 +71,16 @@ func BenchmarkTopKDense(b *testing.B) {
 }
 
 func BenchmarkTopKEmbedding(b *testing.B) {
-	// k-NN candidate generation straight from embeddings (d=32, the REGAL
-	// default embedding width at moderate sizes).
+	// Candidate generation straight from embeddings at d=8, the measured
+	// crossover width where the k-d tree degrades to a near-full scan on
+	// unstructured embeddings and generation switches to the blocked
+	// brute-force kernel (DESIGN.md §12). Narrower embeddings take the tree
+	// (TopKEmbeddingTree below); the aligners' real widths are wider still —
+	// REGAL emits 10·log2(n_src+n_dst)+1 ≈ 121 dims at n=2048 — for which
+	// the honest dense comparison must also pay materialization, see
+	// TopKEmbeddingWide vs EmbeddingDensePath.
 	for _, n := range benchSizes() {
-		e := testEmbedding(n, n, 32, int64(n))
+		e := testEmbedding(n, n, 8, int64(n))
 		b.Run(fmt.Sprintf("n%d/k16", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -82,6 +88,72 @@ func BenchmarkTopKEmbedding(b *testing.B) {
 			}
 		})
 	}
+}
+
+func BenchmarkTopKEmbeddingTree(b *testing.B) {
+	// The k-d tree path (d < bruteForceDim), where spatial pruning still
+	// wins over the flat scan.
+	for _, n := range benchSizes() {
+		e := testEmbedding(n, n, 4, int64(n))
+		b.Run(fmt.Sprintf("n%d/k16/d4", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TopKEmbedding(e, 16, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkTopKEmbeddingWide(b *testing.B) {
+	// The wide regime (d=64): brute-force distance scan, O(n m d). Compare
+	// against EmbeddingDensePath — the pipeline it replaces — not against
+	// TopKDense alone, whose input someone already paid O(n m d) to build.
+	e := testEmbedding(2048, 2048, 64, 2048)
+	b.Run("n2048/k16/d64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			TopKEmbedding(e, 16, 1)
+		}
+	})
+}
+
+func BenchmarkEmbeddingDensePath(b *testing.B) {
+	// What the dense pipeline actually costs an embedding aligner at d=64:
+	// materialize the n x m similarity (PairwiseSqDist + kernel), then
+	// select top-k rows.
+	e := testEmbedding(2048, 2048, 64, 2048)
+	b.Run("n2048/k16/d64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			TopKDense(e.Similarity(), 16, 1)
+		}
+	})
+}
+
+func BenchmarkTopKFactor(b *testing.B) {
+	// Factored candidate generation at rank 48 (NSD's shape: 3 components
+	// x 16 power-series terms), never materializing the n x m product.
+	for _, n := range benchSizes() {
+		f := testFactor(n, n, 48, int64(n))
+		b.Run(fmt.Sprintf("n%d/k16/r48", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TopKFactor(f, 16, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkFactorDensePath(b *testing.B) {
+	// The dense pipeline for a factored aligner: densify the rank-48 product
+	// (48 outer-product accumulations into an n x m matrix), then select.
+	f := testFactor(2048, 2048, 48, 2048)
+	b.Run("n2048/k16/r48", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			TopKDense(f.Similarity(), 16, 1)
+		}
+	})
 }
 
 func BenchmarkSolveNN(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"graphalign/internal/kdtree"
 	"graphalign/internal/matrix"
 )
 
@@ -107,20 +108,70 @@ func testEmbedding(n, m, d int, seed int64) *Embedding {
 }
 
 func TestTopKEmbeddingMatchesDenseTopK(t *testing.T) {
-	for trial := int64(0); trial < 5; trial++ {
-		e := testEmbedding(40, 55, 4, 100+trial)
-		sim := e.Similarity()
-		k := 7
-		dense := TopKDense(sim, k, 1)
-		emb := TopKEmbedding(e, k, 1)
-		if emb.Rows != dense.Rows || emb.Cols != dense.Cols || emb.K != dense.K {
-			t.Fatalf("shape mismatch: %+v vs %+v", emb, dense)
-		}
-		for i := range dense.Col {
-			if dense.Col[i] != emb.Col[i] || dense.Val[i] != emb.Val[i] {
-				t.Fatalf("trial %d: k-NN candidates diverge from dense top-k at flat %d: (%d,%v) vs (%d,%v)",
-					trial, i, emb.Col[i], emb.Val[i], dense.Col[i], dense.Val[i])
+	// d=4 exercises the k-d tree path, d=8 and d=16 the brute-force scan
+	// (d >= bruteForceDim); both must agree with dense selection bitwise.
+	for _, d := range []int{4, 8, 16} {
+		for trial := int64(0); trial < 5; trial++ {
+			e := testEmbedding(40, 55, d, 100+trial)
+			sim := e.Similarity()
+			k := 7
+			dense := TopKDense(sim, k, 1)
+			emb := TopKEmbedding(e, k, 1)
+			if emb.Rows != dense.Rows || emb.Cols != dense.Cols || emb.K != dense.K {
+				t.Fatalf("shape mismatch: %+v vs %+v", emb, dense)
 			}
+			for i := range dense.Col {
+				if dense.Col[i] != emb.Col[i] || dense.Val[i] != emb.Val[i] {
+					t.Fatalf("d=%d trial %d: k-NN candidates diverge from dense top-k at flat %d: (%d,%v) vs (%d,%v)",
+						d, trial, i, emb.Col[i], emb.Val[i], dense.Col[i], dense.Val[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKEmbeddingBruteMatchesTree drives the same instances through both
+// internal fill paths explicitly, pinning that the automatic crossover at
+// bruteForceDim can never change results.
+func TestTopKEmbeddingBruteMatchesTree(t *testing.T) {
+	for trial := int64(0); trial < 5; trial++ {
+		for _, d := range []int{2, 5, 8, 12} {
+			e := testEmbedding(35, 50, d, 900+trial)
+			k := 6
+			mk := func() *Candidates {
+				return &Candidates{Rows: e.Src.Rows, Cols: e.Dst.Rows, K: k,
+					Col: make([]int, e.Src.Rows*k), Val: make([]float64, e.Src.Rows*k)}
+			}
+			points := make([][]float64, e.Dst.Rows)
+			for j := range points {
+				points[j] = e.Dst.Row(j)
+			}
+			ct := mk()
+			topKEmbeddingTree(kdtree.Build(points), e, ct, 0, e.Src.Rows)
+			cb := mk()
+			topKEmbeddingBrute(e, cb, 0, e.Src.Rows)
+			for i := range ct.Col {
+				if ct.Col[i] != cb.Col[i] || ct.Val[i] != cb.Val[i] {
+					t.Fatalf("d=%d trial %d: tree and brute paths diverge at flat %d: (%d,%v) vs (%d,%v)",
+						d, trial, i, ct.Col[i], ct.Val[i], cb.Col[i], cb.Val[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKEmbeddingAllocFree pins the regression this pipeline exists to
+// avoid: candidate generation must not allocate per query (it used to spend
+// ~325k allocs at n=2048; the budget below is two orders looser than the
+// handful both paths need, and three orders tighter than the regression).
+func TestTopKEmbeddingAllocFree(t *testing.T) {
+	for _, d := range []int{4, 8} {
+		e := testEmbedding(300, 300, d, 55)
+		allocs := testing.AllocsPerRun(5, func() {
+			TopKEmbedding(e, 16, 1)
+		})
+		if allocs > 64 {
+			t.Errorf("d=%d: TopKEmbedding allocated %v times/op, want <= 64", d, allocs)
 		}
 	}
 }

@@ -133,12 +133,15 @@ func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, metho
 	}()
 
 	// Similarity stage. With the sparse pipeline on and an aligner that can
-	// expose embeddings, the dense matrix is never materialized: the stage
-	// produces the factored form instead.
+	// expose embeddings or explicit low-rank factors, the dense matrix is
+	// never materialized: the stage produces the factored form instead.
 	sparse := spec.AssignTopK > 0
 	var emb *assign.Embedding
+	var fac *assign.FactorEmbedding
 	ea, haveEmb := a.(algo.EmbeddingAligner)
+	fa, haveFac := a.(algo.FactorAligner)
 	useEmb := sparse && haveEmb
+	useFac := sparse && !useEmb && haveFac
 	var sim *matrix.Dense
 	var err error
 	sp := run.Phase("similarity")
@@ -146,6 +149,9 @@ func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, metho
 	if useEmb {
 		sp.Set("factored", true)
 		emb, err = ea.EmbeddingsCtx(ctx, pair.Source, pair.Target)
+	} else if useFac {
+		sp.Set("factored", true)
+		fac, err = fa.FactorsCtx(ctx, pair.Source, pair.Target)
 	} else {
 		sim, err = algo.Similarity(ctx, a, pair.Source, pair.Target)
 	}
@@ -170,6 +176,9 @@ func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, metho
 		if useEmb {
 			cands = assign.TopKEmbedding(emb, spec.AssignTopK, spec.Workers)
 			dense = emb.Similarity
+		} else if useFac {
+			cands = assign.TopKFactor(fac, spec.AssignTopK, spec.Workers)
+			dense = fac.Similarity
 		} else {
 			cands = assign.TopKDense(sim, spec.AssignTopK, spec.Workers)
 			dense = func() *matrix.Dense { return sim }

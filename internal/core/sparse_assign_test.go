@@ -6,6 +6,8 @@ import (
 
 	"graphalign/internal/algo"
 	"graphalign/internal/algo/isorank"
+	"graphalign/internal/algo/lrea"
+	"graphalign/internal/algo/nsd"
 	"graphalign/internal/algo/regal"
 	"graphalign/internal/assign"
 )
@@ -51,6 +53,34 @@ func TestRunInstanceSpecSparseEmbedding(t *testing.T) {
 	}
 	if res.Scores.Accuracy < 0 || res.Scores.Accuracy > 1 {
 		t.Fatalf("accuracy %v out of range", res.Scores.Accuracy)
+	}
+}
+
+// TestRunInstanceSpecSparseFactored routes NSD and LREA through the factored
+// candidate path (top-k against the rank-one factor lists, no dense
+// similarity matrix) and checks each yields exactly the dense pipeline's
+// scores: TopKFactor selects bitwise what TopKDense would from the densified
+// matrix, so with the same solver the mapping must agree.
+func TestRunInstanceSpecSparseFactored(t *testing.T) {
+	p := smallPair(t)
+	aligners := []algo.Aligner{nsd.New(), lrea.New()}
+	for _, a := range aligners {
+		if _, ok := a.(algo.FactorAligner); !ok {
+			t.Fatalf("%s must implement algo.FactorAligner", a.Name())
+		}
+		res := RunInstanceSpec(context.Background(), a, p, assign.JonkerVolgenant,
+			RunSpec{AssignTopK: 10})
+		if res.Err != nil {
+			t.Fatalf("%s: %v", a.Name(), res.Err)
+		}
+		dense := RunInstanceSpec(context.Background(), a, p, assign.JonkerVolgenant, RunSpec{})
+		if dense.Err != nil {
+			t.Fatalf("%s dense: %v", a.Name(), dense.Err)
+		}
+		if res.Scores.Accuracy < dense.Scores.Accuracy-1e-12 {
+			t.Fatalf("%s: factored sparse accuracy %v below dense %v",
+				a.Name(), res.Scores.Accuracy, dense.Scores.Accuracy)
+		}
 	}
 }
 

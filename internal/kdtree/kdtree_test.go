@@ -184,3 +184,88 @@ func TestDuplicatePoints(t *testing.T) {
 		t.Errorf("duplicates: ids=%v ds=%v", ids, ds)
 	}
 }
+
+// TestAdversarialDuplicateCoordinates stresses the tie contract where it is
+// hardest to honor: runs of exact duplicates longer than a leaf bucket (so
+// ties straddle leaf boundaries and arrive out of id order), interleaved with
+// near-misses that tie on the split axis only. Every query must still return
+// (distance asc, id asc) exactly.
+func TestAdversarialDuplicateCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// 4*leafSize points drawn from just 4 distinct locations: each location's
+	// duplicate run exceeds leafSize, and ids are assigned in shuffled order
+	// so ascending-id output cannot fall out of insertion order by accident.
+	locs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	n := 4 * leafSize
+	pts := make([][]float64, n)
+	order := rng.Perm(n)
+	for i, o := range order {
+		pts[o] = locs[i%len(locs)]
+	}
+	tr := Build(pts)
+	queries := append([][]float64{{0.5, 0.5}, {0, 0}, {1, 1}, {0, 0.5}}, locs...)
+	for qi, q := range queries {
+		for _, k := range []int{1, 3, leafSize, leafSize + 5, n} {
+			gotIDs, gotDs := tr.NearestK(q, k)
+			wantIDs := bruteNearestKTied(pts, q, k)
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("query %d k=%d: got %d results, want %d", qi, k, len(gotIDs), len(wantIDs))
+			}
+			for i := range wantIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("query %d k=%d pos %d: ids %v, want %v (dists %v)",
+						qi, k, i, gotIDs, wantIDs, gotDs)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchReuseMatchesFresh pins the scratch-reuse contract: a single
+// Scratch carried across a mixed query sequence (varying k, duplicate-heavy
+// and random points) returns exactly what fresh per-call state returns —
+// no ordering drift from leftover heap or stack contents.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pts := randomPoints(150, 3, 13)
+	for i := 0; i < 30; i++ { // inject exact duplicates
+		a, b := rng.Intn(len(pts)), rng.Intn(len(pts))
+		pts[a] = pts[b]
+	}
+	tr := Build(pts)
+	s := NewScratch()
+	for trial := 0; trial < 200; trial++ {
+		q := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if trial%3 == 0 { // exact hits force zero-distance ties
+			q = pts[rng.Intn(len(pts))]
+		}
+		k := 1 + rng.Intn(20)
+		gotIDs, gotDs := tr.NearestKInto(q, k, s)
+		wantIDs, wantDs := tr.NearestK(q, k)
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("trial %d: reused scratch returned %d results, fresh %d", trial, len(gotIDs), len(wantIDs))
+		}
+		for i := range wantIDs {
+			if gotIDs[i] != wantIDs[i] || gotDs[i] != wantDs[i] {
+				t.Fatalf("trial %d pos %d: reused (%d,%v) vs fresh (%d,%v)",
+					trial, i, gotIDs[i], gotDs[i], wantIDs[i], wantDs[i])
+			}
+		}
+	}
+}
+
+// TestNearestKIntoAllocFree pins the steady-state zero-allocation contract
+// of the scratch path.
+func TestNearestKIntoAllocFree(t *testing.T) {
+	pts := randomPoints(500, 4, 21)
+	tr := Build(pts)
+	s := NewScratch()
+	q := []float64{0.1, -0.2, 0.3, -0.4}
+	tr.NearestKInto(q, 16, s) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.NearestKInto(q, 16, s)
+	})
+	if allocs != 0 {
+		t.Errorf("NearestKInto with warm scratch: %v allocs/op, want 0", allocs)
+	}
+}

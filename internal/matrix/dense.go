@@ -186,17 +186,7 @@ func PairwiseSqDist(a, b *Dense) *Dense {
 	out := NewDense(a.Rows, b.Rows)
 	distRows := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			ri := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				rj := b.Row(j)
-				var d2 float64
-				for k, v := range ri {
-					d := v - rj[k]
-					d2 += d * d
-				}
-				orow[j] = d2
-			}
+			SqDistInto(out.Row(i), a.Row(i), b)
 		}
 	}
 	if work := a.Rows * a.Cols * b.Rows; work >= parallelFlops {
@@ -205,6 +195,65 @@ func PairwiseSqDist(a, b *Dense) *Dense {
 		distRows(0, a.Rows)
 	}
 	return out
+}
+
+// SqDistInto writes the squared Euclidean distance from q to every row of b
+// into out (len b.Rows) and is the single-row kernel behind PairwiseSqDist:
+// each distance accumulates dimension-ascending in its own chain, so values
+// are bitwise identical to the one-row-at-a-time loop. Rows are processed
+// eight at a time — eight independent accumulators hide the FP add latency —
+// which is also what makes the sparse pipeline's brute-force candidate scan
+// competitive without materializing the full matrix.
+func SqDistInto(out, q []float64, b *Dense) {
+	if len(q) != b.Cols {
+		panic(fmt.Sprintf("matrix: sqDistInto dim mismatch %d vs %dx%d", len(q), b.Rows, b.Cols))
+	}
+	if len(out) != b.Rows {
+		panic(fmt.Sprintf("matrix: sqDistInto out length %d, want %d", len(out), b.Rows))
+	}
+	d := b.Cols
+	j := 0
+	for ; j+8 <= b.Rows; j += 8 {
+		base := j * d
+		r0 := b.Data[base : base+d : base+d]
+		r1 := b.Data[base+d : base+2*d : base+2*d]
+		r2 := b.Data[base+2*d : base+3*d : base+3*d]
+		r3 := b.Data[base+3*d : base+4*d : base+4*d]
+		r4 := b.Data[base+4*d : base+5*d : base+5*d]
+		r5 := b.Data[base+5*d : base+6*d : base+6*d]
+		r6 := b.Data[base+6*d : base+7*d : base+7*d]
+		r7 := b.Data[base+7*d : base+8*d : base+8*d]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for k, v := range q {
+			d0 := v - r0[k]
+			s0 += d0 * d0
+			d1 := v - r1[k]
+			s1 += d1 * d1
+			d2 := v - r2[k]
+			s2 += d2 * d2
+			d3 := v - r3[k]
+			s3 += d3 * d3
+			d4 := v - r4[k]
+			s4 += d4 * d4
+			d5 := v - r5[k]
+			s5 += d5 * d5
+			d6 := v - r6[k]
+			s6 += d6 * d6
+			d7 := v - r7[k]
+			s7 += d7 * d7
+		}
+		out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
+		out[j+4], out[j+5], out[j+6], out[j+7] = s4, s5, s6, s7
+	}
+	for ; j < b.Rows; j++ {
+		rj := b.Row(j)
+		var d2 float64
+		for k, v := range q {
+			d := v - rj[k]
+			d2 += d * d
+		}
+		out[j] = d2
+	}
 }
 
 // MulVec returns m*x.

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Runs the assignment-stage benchmarks and writes BENCH_assign.json:
-# a flat map of benchmark name -> {ns_per_op, allocs_per_op}.
+# a "_meta" header (commit, go version, GOMAXPROCS) followed by a flat map of
+# benchmark name -> {ns_per_op, allocs_per_op}. Consumers that iterate the
+# map must skip the "_meta" key.
 #
 # Usage: scripts/bench_assign.sh [output.json]
 # From the repo root. Pass -short via GOFLAGS if needed.
@@ -10,12 +12,22 @@ out="${1:-BENCH_assign.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    commit="${commit}-dirty"
+fi
+gover="$(go env GOVERSION)"
+
 go test ./internal/assign -run NONE -bench . -benchmem -count=1 | tee "$tmp" >&2
 
-awk '
-BEGIN { print "{"; first = 1 }
+awk -v commit="$commit" -v gover="$gover" '
+BEGIN { n = 0; maxprocs = 1 }
 /^Benchmark/ {
     name = $1
+    # The -N suffix on the bench name is the GOMAXPROCS the run used;
+    # Go omits it entirely when GOMAXPROCS=1, hence the default above.
+    procs = name
+    if (sub(/^.*-/, "", procs) && procs + 0 > 0) maxprocs = procs + 0
     sub(/-[0-9]+$/, "", name)       # strip GOMAXPROCS suffix
     ns = ""; allocs = ""
     for (i = 2; i <= NF; i++) {
@@ -23,11 +35,16 @@ BEGIN { print "{"; first = 1 }
         if ($(i) == "allocs/op") allocs = $(i - 1)
     }
     if (ns == "") next
-    if (!first) printf ",\n"
-    first = 0
-    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, (allocs == "" ? 0 : allocs)
+    names[n] = name
+    lines[n] = "{\"ns_per_op\": " ns ", \"allocs_per_op\": " (allocs == "" ? 0 : allocs) "}"
+    n++
 }
-END { print "\n}" }
+END {
+    print "{"
+    printf "  \"_meta\": {\"commit\": \"%s\", \"go\": \"%s\", \"gomaxprocs\": %d}", commit, gover, maxprocs
+    for (i = 0; i < n; i++) printf ",\n  \"%s\": %s", names[i], lines[i]
+    print "\n}"
+}
 ' "$tmp" > "$out"
 
 echo "wrote $out" >&2

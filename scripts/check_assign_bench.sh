@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Guards the candidate-generation regression this repo once shipped: the
+# embedding k-NN path must stay within 3x of dense top-k selection at the
+# largest bench size (the PR that fixed it measured ~1.3x; 3x leaves slack
+# for CI-runner noise while still catching an accidental return to the
+# allocate-per-query behavior, which was ~11x).
+#
+# Usage: scripts/check_assign_bench.sh [max_ratio]
+# From the repo root. Exits nonzero if TopKEmbedding/n2048 exceeds
+# max_ratio x TopKDense/n2048.
+set -euo pipefail
+
+max_ratio="${1:-3}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# The anchored pattern keeps TopKEmbeddingTree/Wide etc. out of the sample:
+# each path element matches independently, so $ closes the function name.
+go test ./internal/assign -run NONE -bench 'Benchmark(TopKDense|TopKEmbedding)$/n2048' \
+    -benchmem -count=1 | tee "$tmp" >&2
+
+awk -v max="$max_ratio" '
+/^BenchmarkTopKDense/     { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") dense = $(i - 1) }
+/^BenchmarkTopKEmbedding/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") emb   = $(i - 1) }
+END {
+    if (dense == "" || emb == "") {
+        print "check_assign_bench: missing benchmark output" > "/dev/stderr"
+        exit 2
+    }
+    ratio = emb / dense
+    printf "TopKEmbedding/n2048 = %.0f ns/op, TopKDense/n2048 = %.0f ns/op, ratio %.2fx (max %sx)\n", emb, dense, ratio, max
+    if (ratio > max) {
+        print "check_assign_bench: candidate generation regressed" > "/dev/stderr"
+        exit 1
+    }
+}
+' "$tmp"
