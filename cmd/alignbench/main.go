@@ -166,7 +166,7 @@ func runCLI() error {
 	reg := obsv.NewRegistry()
 	observing := *traceOut != "" || *debugAddr != ""
 	if observing || *verbose {
-		tracer = obsv.New().SetRegistry(reg)
+		tracer = obsv.New().SetRegistry(reg).SetTraceID(obsv.NewTraceID("alignbench"))
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -248,6 +248,20 @@ func runCLI() error {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// One trace_meta header per invocation: the knobs a trace analyzer needs
+	// to interpret the numbers. Nil-safe when tracing is off.
+	tracer.EmitTraceMeta(map[string]any{
+		"cmd":         "alignbench",
+		"exp":         strings.Join(ids, ","),
+		"seed":        *seed,
+		"scale":       *scale,
+		"reps":        *reps,
+		"workers":     *workers,
+		"assign_topk": *assignTopK,
+		"go":          runtime.Version(),
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+	})
 
 	for _, id := range ids {
 		e, err := core.Get(id)

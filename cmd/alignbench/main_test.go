@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"graphalign/internal/obsv/tracefile"
 )
 
 // TestMain re-executes the test binary as the real CLI when RUN_ALIGNBENCH
@@ -151,6 +153,32 @@ func TestTraceOut(t *testing.T) {
 	}
 	if types["phase"] < 3*types["run_end"] {
 		t.Errorf("expected >=3 phases per run: %v", types)
+	}
+	if types["trace_meta"] != 1 {
+		t.Errorf("expected exactly one trace_meta header, got %d", types["trace_meta"])
+	}
+
+	// The analyzer view: runs separate cleanly, every event carries the
+	// invocation's trace id, and the meta header survives the round trip.
+	parsed, err := tracefile.ReadFiles(trace)
+	if err != nil {
+		t.Fatalf("tracefile parse: %v", err)
+	}
+	if len(parsed.Runs) == 0 {
+		t.Fatal("tracefile found no runs")
+	}
+	for _, r := range parsed.Runs {
+		if !strings.HasPrefix(r.Trace, "alignbench-") {
+			t.Fatalf("run trace id = %q, want alignbench- prefix", r.Trace)
+		}
+	}
+	meta := parsed.Meta[parsed.Runs[0].Trace]
+	if meta["cmd"] != "alignbench" || meta["exp"] != "fig9" {
+		t.Errorf("trace_meta = %v, want cmd=alignbench exp=fig9", meta)
+	}
+	sum := tracefile.Summarize(parsed)
+	if len(sum.Phases) == 0 || len(sum.Paths) == 0 {
+		t.Errorf("summary empty: %d phases, %d paths", len(sum.Phases), len(sum.Paths))
 	}
 }
 

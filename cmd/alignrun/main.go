@@ -8,6 +8,10 @@
 // The mapping is printed one "srcLabel dstLabel" pair per line on stdout;
 // metrics go to stderr. When -truth is given (lines of "src dst" dense
 // ids), accuracy is reported as well.
+//
+// -trace-out run.jsonl streams structured span events (a run span with
+// similarity/assign phases plus the algorithm's inner phases) as JSONL,
+// ready for `alignstat summary`; tracing never changes the alignment.
 package main
 
 import (
@@ -15,9 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"graphalign"
+	"graphalign/internal/obsv"
 )
 
 func main() {
@@ -28,6 +34,7 @@ func main() {
 		method   = flag.String("assign", "", "assignment method NN, SG, MWM, JV (default: the algorithm's own)")
 		truthP   = flag.String("truth", "", "ground-truth file of 'src dst' dense-id lines")
 		quiet    = flag.Bool("q", false, "suppress the mapping output, print only metrics")
+		traceOut = flag.String("trace-out", "", "write span events as JSONL to this file (alignstat summary input)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *dstPath == "" {
@@ -44,9 +51,34 @@ func main() {
 		fatal(err)
 	}
 
-	mapping, simTime, assignTime, err := graphalign.AlignTimed(*algoName, src, dst, graphalign.AssignMethod(*method))
+	var tracer *graphalign.Tracer
+	var traceSink *obsv.WriterSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traceSink = obsv.NewWriterSink(f)
+		tracer = obsv.New(traceSink).SetTraceID(obsv.NewTraceID("alignrun"))
+		tracer.EmitTraceMeta(map[string]any{
+			"cmd":        "alignrun",
+			"algo":       *algoName,
+			"src":        *srcPath,
+			"dst":        *dstPath,
+			"go":         runtime.Version(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		})
+	}
+
+	mapping, simTime, assignTime, err := graphalign.AlignTimedTraced(*algoName, src, dst, graphalign.AssignMethod(*method), tracer)
 	if err != nil {
 		fatal(err)
+	}
+	if traceSink != nil {
+		if werr := traceSink.Err(); werr != nil {
+			fatal(fmt.Errorf("trace-out: %w", werr))
+		}
 	}
 	elapsed := simTime + assignTime
 

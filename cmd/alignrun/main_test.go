@@ -13,6 +13,7 @@ import (
 	"graphalign"
 	"graphalign/internal/gen"
 	"graphalign/internal/noise"
+	"graphalign/internal/obsv/tracefile"
 )
 
 func TestMain(m *testing.M) {
@@ -110,6 +111,40 @@ func TestUnknownAlgorithm(t *testing.T) {
 	src, dst, _ := writeInstance(t)
 	if out, err := run(t, "-algo", "Nope", "-src", src, "-dst", dst); err == nil {
 		t.Errorf("unknown algorithm accepted:\n%s", out)
+	}
+}
+
+func TestTraceOutProducesParsableTrace(t *testing.T) {
+	src, dst, _ := writeInstance(t)
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	out, err := run(t, "-algo", "NSD", "-src", src, "-dst", dst, "-q", "-trace-out", trace)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	parsed, err := tracefile.ReadFiles(trace)
+	if err != nil {
+		t.Fatalf("trace unparsable: %v", err)
+	}
+	if len(parsed.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(parsed.Runs))
+	}
+	r := parsed.Runs[0]
+	if r.Algo != "NSD" || r.Incomplete {
+		t.Fatalf("run = %+v", r)
+	}
+	names := map[string]bool{}
+	for _, c := range r.Root.Children {
+		names[c.Name] = true
+	}
+	if !names["similarity"] || !names["assign"] {
+		t.Errorf("span tree missing similarity/assign phases; have %v", names)
+	}
+	if !strings.HasPrefix(r.Trace, "alignrun-") {
+		t.Errorf("trace id = %q, want alignrun- prefix", r.Trace)
+	}
+	meta := parsed.Meta[r.Trace]
+	if meta["cmd"] != "alignrun" || meta["algo"] != "NSD" {
+		t.Errorf("trace_meta = %v, want cmd=alignrun algo=NSD", meta)
 	}
 }
 

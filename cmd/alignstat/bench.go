@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// benchEntry is one line of BENCH_history.jsonl: the object written by
+// scripts/bench_assign.sh — a "_meta" header plus a flat map of benchmark
+// name to measurements.
+type benchEntry struct {
+	Meta    benchMeta
+	Benches map[string]benchPoint
+}
+
+type benchMeta struct {
+	Commit     string `json:"commit"`
+	Go         string `json:"go"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+type benchPoint struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// readBenchHistory parses a BENCH_history.jsonl stream. The torn-tail rule
+// matches trace files: one partial final line is dropped, malformed
+// interior lines are an error.
+func readBenchHistory(r io.Reader) ([]benchEntry, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var entries []benchEntry
+	var pendingErr error
+	var pendingLine int
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return nil, err
+		}
+		text := strings.TrimSpace(string(raw))
+		if text != "" {
+			line++
+			if pendingErr != nil {
+				return nil, fmt.Errorf("bench history line %d: %w", pendingLine, pendingErr)
+			}
+			entry, perr := parseBenchEntry([]byte(text))
+			if perr != nil {
+				pendingErr, pendingLine = perr, line
+			} else {
+				entries = append(entries, entry)
+			}
+		}
+		if atEOF {
+			break
+		}
+	}
+	return entries, nil
+}
+
+// parseBenchEntry splits the "_meta" key from the benchmark map.
+func parseBenchEntry(raw []byte) (benchEntry, error) {
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &all); err != nil {
+		return benchEntry{}, err
+	}
+	entry := benchEntry{Benches: make(map[string]benchPoint, len(all))}
+	for name, v := range all {
+		if name == "_meta" {
+			if err := json.Unmarshal(v, &entry.Meta); err != nil {
+				return benchEntry{}, fmt.Errorf("_meta: %w", err)
+			}
+			continue
+		}
+		var p benchPoint
+		if err := json.Unmarshal(v, &p); err != nil {
+			return benchEntry{}, fmt.Errorf("%s: %w", name, err)
+		}
+		entry.Benches[name] = p
+	}
+	return entry, nil
+}
+
+func runBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tolerance := fs.Float64("tolerance", 1.5, "max ns/op ratio (latest/previous) before failing")
+	allocTol := fs.Float64("alloc-tolerance", 1.2, "max allocs/op ratio before failing")
+	last := fs.Int("last", 8, "history entries to show in the trajectory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "alignstat bench: need exactly one BENCH_history.jsonl file")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "alignstat:", err)
+		return 2
+	}
+	defer f.Close()
+	entries, err := readBenchHistory(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "alignstat:", err)
+		return 2
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(stderr, "alignstat bench: empty history")
+		return 2
+	}
+
+	writeBenchTrajectory(stdout, entries, *last)
+
+	if len(entries) < 2 {
+		fmt.Fprintln(stdout, "\nonly one history entry: nothing to diff")
+		return 0
+	}
+	prev, latest := entries[len(entries)-2], entries[len(entries)-1]
+	regressions := diffBenchEntries(stdout, stderr, prev, latest, *tolerance, *allocTol)
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "alignstat bench: %d benchmark(s) regressed (ns/op tolerance %.2fx, allocs %.2fx)\n",
+			regressions, *tolerance, *allocTol)
+		return 1
+	}
+	return 0
+}
+
+// writeBenchTrajectory prints ns/op per benchmark across the last n history
+// entries, columns labeled by commit.
+func writeBenchTrajectory(w io.Writer, entries []benchEntry, n int) {
+	if n > 0 && len(entries) > n {
+		entries = entries[len(entries)-n:]
+	}
+	fmt.Fprintf(w, "# bench history: %d entr%s shown\n", len(entries), plural(len(entries), "y", "ies"))
+
+	// Benchmarks present in any entry, sorted.
+	names := map[string]bool{}
+	for _, e := range entries {
+		for name := range e.Benches {
+			names[name] = true
+		}
+	}
+	fmt.Fprintf(w, "%-46s", "benchmark (ns/op)")
+	for _, e := range entries {
+		fmt.Fprintf(w, " %12s", trim(e.Meta.Commit, 12))
+	}
+	fmt.Fprintln(w)
+	for _, name := range sortedKeys(names) {
+		fmt.Fprintf(w, "%-46s", trim(name, 46))
+		for _, e := range entries {
+			if p, ok := e.Benches[name]; ok {
+				fmt.Fprintf(w, " %12.0f", p.NsPerOp)
+			} else {
+				fmt.Fprintf(w, " %12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// diffBenchEntries compares the two most recent entries benchmark by
+// benchmark and reports the number of regressions beyond tolerance.
+func diffBenchEntries(stdout, stderr io.Writer, prev, latest benchEntry, tolerance, allocTol float64) int {
+	if prev.Meta.Go != latest.Meta.Go || prev.Meta.GoMaxProcs != latest.Meta.GoMaxProcs {
+		fmt.Fprintf(stderr, "alignstat bench: warning: comparing %s/GOMAXPROCS=%d against %s/GOMAXPROCS=%d — treat time ratios with care\n",
+			prev.Meta.Go, prev.Meta.GoMaxProcs, latest.Meta.Go, latest.Meta.GoMaxProcs)
+	}
+	fmt.Fprintf(stdout, "\n# latest diff: %s -> %s\n", prev.Meta.Commit, latest.Meta.Commit)
+	fmt.Fprintf(stdout, "%-46s %12s %12s %8s %10s %8s %s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "allocs", "ratio", "verdict")
+	regressions := 0
+	for _, name := range sortedKeys(latest.Benches) {
+		np := latest.Benches[name]
+		op, ok := prev.Benches[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-46s %12s %12.0f %8s %10.0f %8s %s\n",
+				trim(name, 46), "-", np.NsPerOp, "-", np.AllocsPerOp, "-", "new")
+			continue
+		}
+		nsRatio := ratio(np.NsPerOp, op.NsPerOp)
+		allocRatio := ratio(np.AllocsPerOp, op.AllocsPerOp)
+		verdict := "ok"
+		if (nsRatio > tolerance) || (allocRatio > allocTol) {
+			verdict = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-46s %12.0f %12.0f %7.2fx %10.0f %7.2fx %s\n",
+			trim(name, 46), op.NsPerOp, np.NsPerOp, nsRatio, np.AllocsPerOp, allocRatio, verdict)
+	}
+	for _, name := range sortedKeys(prev.Benches) {
+		if _, ok := latest.Benches[name]; !ok {
+			fmt.Fprintf(stdout, "%-46s %12.0f %12s %8s %10s %8s %s\n",
+				trim(name, 46), prev.Benches[name].NsPerOp, "-", "-", "-", "-", "removed")
+		}
+	}
+	return regressions
+}
+
+// ratio divides guarding zero denominators: a measurement that was zero
+// before cannot regress by ratio.
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,0 +1,252 @@
+// Command alignstat analyzes the observability artifacts of this
+// repository: the JSONL trace files written by alignbench/alignrun
+// (-trace-out) and the benchmark history written by scripts/bench_history.sh.
+//
+// Usage:
+//
+//	alignstat summary [-paths 5] [-fold] trace.jsonl...
+//	alignstat diff [-threshold 0.2] [-min 1ms] old.jsonl new.jsonl
+//	alignstat bench [-tolerance 1.5] [-alloc-tolerance 1.2] [-last 8] BENCH_history.jsonl
+//
+// summary aggregates one or more trace files into per-algorithm/per-phase
+// tables (count, total and self wall time, exact p50/p95/p99 over span
+// durations, allocation deltas) plus the critical paths of the slowest
+// runs; -fold instead emits flamegraph-ready folded stacks
+// ("algo;phase;... microseconds") for flamegraph.pl, inferno or speedscope.
+//
+// diff compares two traces phase by phase on p50 duration and exits with
+// status 1 when any phase slowed down beyond the threshold — the CI gate
+// for performance PRs. Phases faster than -min in both traces are ignored
+// as scheduler noise.
+//
+// bench renders the ns/op trajectory of every benchmark across the history
+// file and compares the two most recent entries per benchmark, exiting
+// with status 1 when ns/op or allocs/op regressed beyond tolerance.
+//
+// Exit status: 0 clean, 1 regression detected (diff and bench), 2 usage or
+// input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"graphalign/internal/obsv/tracefile"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommands; it exists so tests can drive the CLI
+// end-to-end with captured output.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:], stdout, stderr)
+	case "diff":
+		return runDiff(args[1:], stdout, stderr)
+	case "bench":
+		return runBench(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "alignstat: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  alignstat summary [-paths N] [-fold] trace.jsonl...
+  alignstat diff [-threshold 0.2] [-min 1ms] old.jsonl new.jsonl
+  alignstat bench [-tolerance 1.5] [-alloc-tolerance 1.2] [-last N] BENCH_history.jsonl
+`)
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	paths := fs.Int("paths", 5, "critical paths to print (slowest runs first)")
+	fold := fs.Bool("fold", false, "emit flamegraph-ready folded stacks instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "alignstat summary: need at least one trace file")
+		return 2
+	}
+	trace, err := tracefile.ReadFiles(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "alignstat:", err)
+		return 2
+	}
+	if *fold {
+		if err := tracefile.WriteFolded(stdout, trace); err != nil {
+			fmt.Fprintln(stderr, "alignstat:", err)
+			return 2
+		}
+		return 0
+	}
+	writeSummary(stdout, tracefile.Summarize(trace), fs.NArg(), *paths)
+	return 0
+}
+
+// writeSummary renders the aggregate tables.
+func writeSummary(w io.Writer, sum *tracefile.Summary, files, maxPaths int) {
+	fmt.Fprintf(w, "# trace summary: %d file(s), %d events, %d torn tail(s)\n",
+		files, sum.Events, sum.TornTail)
+	for _, trace := range sortedKeys(sum.Meta) {
+		fmt.Fprintf(w, "# meta %s: %s\n", trace, metaLine(sum.Meta[trace]))
+	}
+
+	fmt.Fprintf(w, "\n## runs\n")
+	fmt.Fprintf(w, "%-10s %6s %5s %6s %12s %10s %10s %10s %12s\n",
+		"algo", "runs", "errs", "incmpl", "total", "p50", "p95", "p99", "alloc")
+	for _, rs := range sum.Runs {
+		fmt.Fprintf(w, "%-10s %6d %5d %6d %12s %10s %10s %10s %12s\n",
+			rs.Algo, rs.Count, rs.Errors, rs.Incomplete,
+			dur(rs.TotalNS), dur(rs.P50()), dur(rs.P95()), dur(rs.P99()), fmtBytes(rs.AllocBytes))
+	}
+
+	fmt.Fprintf(w, "\n## phases\n")
+	fmt.Fprintf(w, "%-10s %-22s %6s %12s %12s %10s %10s %10s %12s\n",
+		"algo", "phase", "count", "total", "self", "p50", "p95", "p99", "alloc")
+	for _, ps := range sum.Phases {
+		fmt.Fprintf(w, "%-10s %-22s %6d %12s %12s %10s %10s %10s %12s\n",
+			ps.Algo, ps.Phase, ps.Count,
+			dur(ps.TotalNS), dur(ps.SelfNS),
+			dur(ps.P50()), dur(ps.P95()), dur(ps.P99()), fmtBytes(ps.AllocBytes))
+	}
+
+	if maxPaths > 0 && len(sum.Paths) > 0 {
+		fmt.Fprintf(w, "\n## critical paths (slowest runs)\n")
+		n := maxPaths
+		if n > len(sum.Paths) {
+			n = len(sum.Paths)
+		}
+		for _, cp := range sum.Paths[:n] {
+			fmt.Fprintf(w, "%s %s:", cp.Algo, dur(cp.DurNS))
+			for i, step := range cp.Steps {
+				sep := " "
+				if i > 0 {
+					sep = " > "
+				}
+				fmt.Fprintf(w, "%s%s %s (self %s)", sep, step.Name, dur(step.DurNS), dur(step.SelfNS))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// metaLine renders one trace's meta fields compactly with sorted keys.
+func metaLine(fields map[string]any) string {
+	parts := make([]string, 0, len(fields))
+	for _, k := range sortedKeys(fields) {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, fields[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.2, "relative p50 slowdown that fails the diff (0.2 = 20%)")
+	minDur := fs.Duration("min", time.Millisecond, "ignore phases faster than this in both traces")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "alignstat diff: need exactly two trace files (old new)")
+		return 2
+	}
+	before, err := tracefile.ReadFiles(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "alignstat:", err)
+		return 2
+	}
+	after, err := tracefile.ReadFiles(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "alignstat:", err)
+		return 2
+	}
+	deltas := tracefile.Diff(
+		tracefile.Summarize(before), tracefile.Summarize(after),
+		tracefile.DiffOptions{Threshold: *threshold, MinNS: minDur.Nanoseconds()},
+	)
+
+	fmt.Fprintf(stdout, "%-10s %-22s %10s %10s %8s %s\n", "algo", "phase", "old p50", "new p50", "ratio", "verdict")
+	regressions := 0
+	for _, d := range deltas {
+		verdict := "ok"
+		switch {
+		case d.OldCount == 0:
+			verdict = "new phase"
+		case d.NewCount == 0:
+			verdict = "removed"
+		case d.Regressed:
+			verdict = "REGRESSED"
+			regressions++
+		}
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", d.Ratio)
+		}
+		fmt.Fprintf(stdout, "%-10s %-22s %10s %10s %8s %s\n",
+			d.Algo, d.Phase, dur(d.OldP50NS), dur(d.NewP50NS), ratio, verdict)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "alignstat diff: %d phase(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		return 1
+	}
+	return 0
+}
+
+// dur formats nanoseconds as a rounded, human-readable duration.
+func dur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return d.Round(time.Nanosecond).String()
+}
+
+// fmtBytes formats a byte count with binary prefixes.
+func fmtBytes(n int64) string {
+	abs := n
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case abs >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case abs >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

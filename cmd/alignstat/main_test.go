@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphalign/internal/obsv"
+)
+
+// writeTrace renders synthetic runs into a JSONL trace file and returns its
+// path. Each entry in simMS is one NSD run whose similarity phase takes that
+// many milliseconds.
+func writeTrace(t *testing.T, name string, simMS ...int64) string {
+	t.Helper()
+	ms := int64(1_000_000)
+	var b strings.Builder
+	var id uint64 = 1
+	for _, sim := range simMS {
+		events := []obsv.Event{
+			{T: 1, Type: "run_start", Name: "NSD", Span: id, Run: id, Trace: "t"},
+			{T: 2, Type: "phase", Name: "lanczos", Span: id + 1, Parent: id + 2, Run: id, Trace: "t", DurNS: sim / 2 * ms, Alloc: 100},
+			{T: 3, Type: "phase", Name: "similarity", Span: id + 2, Parent: id, Run: id, Trace: "t", DurNS: sim * ms, Alloc: 500},
+			{T: 4, Type: "phase", Name: "assign", Span: id + 3, Parent: id, Run: id, Trace: "t", DurNS: 10 * ms, Alloc: 200},
+			{T: 5, Type: "run_end", Name: "NSD", Span: id, Run: id, Trace: "t", DurNS: (sim + 11) * ms, Alloc: 900},
+		}
+		for _, e := range events {
+			raw, err := json.Marshal(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(raw)
+			b.WriteByte('\n')
+		}
+		id += 10
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarySubcommand(t *testing.T) {
+	trace := writeTrace(t, "trace.jsonl", 20, 40, 60)
+	var out, errs bytes.Buffer
+	if code := run([]string{"summary", trace}, &out, &errs); code != 0 {
+		t.Fatalf("summary exit = %d, stderr: %s", code, errs.String())
+	}
+	text := out.String()
+	for _, want := range []string{"## runs", "## phases", "## critical paths", "NSD", "similarity", "lanczos", "assign"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary output missing %q:\n%s", want, text)
+		}
+	}
+	// p50 of {20,40,60}ms similarity is 40ms.
+	if !strings.Contains(text, "40ms") {
+		t.Errorf("summary output missing the 40ms p50:\n%s", text)
+	}
+}
+
+func TestSummaryFold(t *testing.T) {
+	trace := writeTrace(t, "trace.jsonl", 20)
+	var out, errs bytes.Buffer
+	if code := run([]string{"summary", "-fold", trace}, &out, &errs); code != 0 {
+		t.Fatalf("fold exit = %d, stderr: %s", code, errs.String())
+	}
+	// similarity self = 20-10 = 10ms = 10000us.
+	if !strings.Contains(out.String(), "NSD;similarity 10000\n") {
+		t.Errorf("folded output missing NSD;similarity stack:\n%s", out.String())
+	}
+}
+
+// TestDiffExitsNonzeroOnInjectedRegression is the acceptance criterion:
+// a ≥20% phase regression must fail the diff with exit status 1.
+func TestDiffExitsNonzeroOnInjectedRegression(t *testing.T) {
+	before := writeTrace(t, "before.jsonl", 100, 100, 100)
+	after := writeTrace(t, "after.jsonl", 130, 130, 130) // +30%
+
+	var out, errs bytes.Buffer
+	code := run([]string{"diff", before, after}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("diff exit = %d, want 1 for a 30%% regression\nstdout: %s\nstderr: %s",
+			code, out.String(), errs.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("diff output missing REGRESSED verdict:\n%s", out.String())
+	}
+	if !strings.Contains(errs.String(), "regressed") {
+		t.Errorf("diff stderr missing regression note: %s", errs.String())
+	}
+}
+
+func TestDiffCleanOnIdenticalTraces(t *testing.T) {
+	a := writeTrace(t, "a.jsonl", 100, 100)
+	b := writeTrace(t, "b.jsonl", 100, 100)
+	var out, errs bytes.Buffer
+	if code := run([]string{"diff", a, b}, &out, &errs); code != 0 {
+		t.Fatalf("self-diff exit = %d, stderr: %s", code, errs.String())
+	}
+	if strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("self-diff flagged a regression:\n%s", out.String())
+	}
+}
+
+func TestDiffRespectsThresholdFlag(t *testing.T) {
+	before := writeTrace(t, "before.jsonl", 100)
+	after := writeTrace(t, "after.jsonl", 130)
+	var out, errs bytes.Buffer
+	// At a 50% threshold, a 30% slowdown passes.
+	if code := run([]string{"diff", "-threshold", "0.5", before, after}, &out, &errs); code != 0 {
+		t.Fatalf("diff -threshold 0.5 exit = %d, want 0", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run(nil, &out, &errs); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{"nope"}, &out, &errs); code != 2 {
+		t.Errorf("unknown subcommand exit = %d, want 2", code)
+	}
+	if code := run([]string{"diff", "only-one.jsonl"}, &out, &errs); code != 2 {
+		t.Errorf("diff with one file exit = %d, want 2", code)
+	}
+	if code := run([]string{"summary", "/nonexistent/trace.jsonl"}, &out, &errs); code != 2 {
+		t.Errorf("summary on missing file exit = %d, want 2", code)
+	}
+	if code := run([]string{"help"}, &out, &errs); code != 0 {
+		t.Errorf("help exit = %d, want 0", code)
+	}
+}
+
+// writeHistory renders bench-history lines; each entry maps benchmark name
+// to [ns_per_op, allocs_per_op].
+func writeHistory(t *testing.T, entries ...map[string][2]float64) string {
+	t.Helper()
+	var b strings.Builder
+	for i, e := range entries {
+		line := map[string]any{
+			"_meta": map[string]any{"commit": fmt.Sprintf("c%d", i), "go": "go1.24", "gomaxprocs": 8},
+		}
+		for name, v := range e {
+			line[name] = map[string]float64{"ns_per_op": v[0], "allocs_per_op": v[1]}
+		}
+		raw, err := json.Marshal(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchFlagsNsRegression(t *testing.T) {
+	hist := writeHistory(t,
+		map[string][2]float64{"BenchmarkAuction/n=1000": {1000, 50}},
+		map[string][2]float64{"BenchmarkAuction/n=1000": {2000, 50}}, // 2x > 1.5x tolerance
+	)
+	var out, errs bytes.Buffer
+	if code := run([]string{"bench", hist}, &out, &errs); code != 1 {
+		t.Fatalf("bench exit = %d, want 1 for a 2x ns/op regression\nstdout: %s\nstderr: %s",
+			code, out.String(), errs.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("bench output missing REGRESSED:\n%s", out.String())
+	}
+}
+
+func TestBenchFlagsAllocRegression(t *testing.T) {
+	hist := writeHistory(t,
+		map[string][2]float64{"BenchmarkAuction/n=1000": {1000, 50}},
+		map[string][2]float64{"BenchmarkAuction/n=1000": {1000, 100}}, // 2x allocs > 1.2x
+	)
+	var out, errs bytes.Buffer
+	if code := run([]string{"bench", hist}, &out, &errs); code != 1 {
+		t.Fatalf("bench exit = %d, want 1 for a 2x allocs/op regression", code)
+	}
+}
+
+func TestBenchPassesWithinTolerance(t *testing.T) {
+	hist := writeHistory(t,
+		map[string][2]float64{"BenchmarkAuction/n=1000": {1000, 50}, "BenchmarkTopK/k=4": {500, 10}},
+		map[string][2]float64{"BenchmarkAuction/n=1000": {1200, 50}, "BenchmarkTopK/k=4": {480, 10}},
+	)
+	var out, errs bytes.Buffer
+	if code := run([]string{"bench", hist}, &out, &errs); code != 0 {
+		t.Fatalf("bench exit = %d, want 0 within tolerance\nstdout: %s\nstderr: %s",
+			code, out.String(), errs.String())
+	}
+	// Trajectory shows both entries' commits and both benchmarks.
+	for _, want := range []string{"c0", "c1", "BenchmarkAuction/n=1000", "BenchmarkTopK/k=4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bench output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBenchSingleEntry(t *testing.T) {
+	hist := writeHistory(t, map[string][2]float64{"BenchmarkAuction": {1000, 50}})
+	var out, errs bytes.Buffer
+	if code := run([]string{"bench", hist}, &out, &errs); code != 0 {
+		t.Fatalf("single-entry bench exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "nothing to diff") {
+		t.Errorf("single-entry bench should say nothing to diff:\n%s", out.String())
+	}
+}
+
+func TestBenchEmptyHistoryIsUsageError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errs bytes.Buffer
+	if code := run([]string{"bench", path}, &out, &errs); code != 2 {
+		t.Errorf("empty history exit = %d, want 2", code)
+	}
+}

@@ -16,6 +16,7 @@
 package graphalign
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"graphalign/internal/graph"
 	"graphalign/internal/metrics"
 	"graphalign/internal/multi"
+	"graphalign/internal/obsv"
 )
 
 // Graph re-exports the graph type used throughout the public API.
@@ -204,6 +206,25 @@ func AlignTimed(name string, src, dst *Graph, method AssignMethod) (mapping []in
 		method = a.DefaultAssignment()
 	}
 	return algo.AlignTimed(a, src, dst, method)
+}
+
+// Tracer re-exports the observability tracer so CLI callers can stream
+// span events without importing the internal package. A nil *Tracer is
+// valid and fully disabled.
+type Tracer = obsv.Tracer
+
+// AlignTimedTraced is AlignTimed emitting structured span events (a run
+// span with similarity/assign phases, plus the algorithm's inner phases)
+// through tr. A nil tracer makes it exactly AlignTimed.
+func AlignTimedTraced(name string, src, dst *Graph, method AssignMethod, tr *Tracer) (mapping []int, simTime, assignTime time.Duration, err error) {
+	a, err := NewAligner(name)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if method == "" {
+		method = a.DefaultAssignment()
+	}
+	return algo.AlignObservedTimedCtx(context.Background(), a, src, dst, method, tr)
 }
 
 // Evaluate computes all five quality measures of the study for a mapping;

@@ -164,6 +164,58 @@ func AlignTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method
 	return mapping, simTime, assignTime, nil
 }
 
+// AlignObservedTimedCtx is AlignTimedCtx wrapped in an observability run:
+// a run span for the whole alignment with "similarity" and "assign" phase
+// spans inside, plus the aligner's own inner phases when it implements
+// Instrumented. A nil tracer degrades to exactly AlignTimedCtx — every obsv
+// call no-ops — so callers wire it unconditionally.
+func AlignObservedTimedCtx(ctx context.Context, a Aligner, src, dst *graph.Graph, method assign.Method, tr *obsv.Tracer) (mapping []int, simTime, assignTime time.Duration, err error) {
+	if src.N() > dst.N() {
+		return nil, 0, 0, fmt.Errorf("algo: source graph larger than target (%d > %d)", src.N(), dst.N())
+	}
+	run := tr.StartRun(a.Name(), map[string]any{
+		"assign": string(method),
+		"n_src":  src.N(),
+		"n_dst":  dst.N(),
+	})
+	if inst, ok := a.(Instrumented); ok {
+		inst.SetSpan(run)
+	}
+	endErr := func(err error) error {
+		run.Set("err", err.Error())
+		run.End()
+		return err
+	}
+
+	sp := run.Phase("similarity")
+	t0 := time.Now()
+	sim, err := Similarity(ctx, a, src, dst)
+	simTime = time.Since(t0)
+	sp.End()
+	if err != nil {
+		return nil, simTime, 0, endErr(fmt.Errorf("algo: %s similarity: %w", a.Name(), err))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, simTime, 0, endErr(fmt.Errorf("algo: %s similarity: %w", a.Name(), err))
+	}
+
+	sp = run.Phase("assign")
+	sp.Set("method", string(method))
+	t1 := time.Now()
+	mapping, err = assign.Solve(method, sim)
+	if err != nil {
+		sp.End()
+		return nil, simTime, time.Since(t1), endErr(fmt.Errorf("algo: %s assignment: %w", a.Name(), err))
+	}
+	if method == assign.NearestNeighbor {
+		mapping = assign.EnforceOneToOne(sim, mapping)
+	}
+	assignTime = time.Since(t1)
+	sp.End()
+	run.End()
+	return mapping, simTime, assignTime, nil
+}
+
 // AlignSparseTimedCtx is AlignTimedCtx through the sparse assignment
 // pipeline: the similarity is reduced to per-row top-k candidates — via k-NN
 // over raw embeddings for EmbeddingAligners, via factor-space scoring for

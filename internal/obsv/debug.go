@@ -12,9 +12,11 @@ import (
 //
 //	/debug/pprof/   profiles (heap, goroutine, CPU via ?seconds=, ...)
 //	/debug/vars     expvar JSON, including reg published as "graphalign"
+//	/metrics        reg in Prometheus text exposition format (see prom.go)
 //
 // so `go tool pprof http://addr/debug/pprof/profile` can attach to a
-// running sweep. It returns the server (shut it down when done) and the
+// running sweep and any Prometheus-compatible collector can scrape the
+// metrics registry. It returns the server (shut it down when done) and the
 // bound address — pass "127.0.0.1:0" to let the kernel pick a free port.
 func StartDebugServer(addr string, reg *Registry) (*http.Server, net.Addr, error) {
 	reg.PublishExpvar("graphalign")
@@ -25,6 +27,7 @@ func StartDebugServer(addr string, reg *Registry) (*http.Server, net.Addr, error
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", PromHandler(reg))
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

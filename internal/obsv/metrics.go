@@ -228,18 +228,21 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
-// inside the bucket holding the target rank. Values in the overflow bucket
-// report the last bound. Returns 0 for an empty histogram.
+// Quantile estimates the q-quantile by linear interpolation inside the
+// bucket holding the target rank. Values in the overflow bucket report the
+// last bound. The result is always a defined finite value: an empty
+// histogram (no observations, or one constructed with no buckets) reports
+// 0, and q outside [0, 1] — including NaN — is clamped into the range
+// (NaN clamps to 0).
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
 	total := h.total.Load()
-	if total == 0 {
+	if total == 0 || len(h.bounds) == 0 {
 		return 0
 	}
-	if q < 0 {
+	if !(q >= 0) { // also catches NaN
 		q = 0
 	}
 	if q > 1 {

@@ -106,6 +106,46 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile, including out-of-range and NaN q,
+	// must report the defined empty value 0.
+	empty := newHistogram([]float64{1, 2})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %g, want 0", q, got)
+		}
+	}
+
+	// Out-of-range q clamps to the [0, 1] endpoints instead of producing
+	// garbage ranks.
+	h := newHistogram([]float64{10, 20})
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	if got, want := h.Quantile(-3), h.Quantile(0); got != want {
+		t.Errorf("Quantile(-3) = %g, want Quantile(0) = %g", got, want)
+	}
+	if got, want := h.Quantile(7), h.Quantile(1); got != want {
+		t.Errorf("Quantile(7) = %g, want Quantile(1) = %g", got, want)
+	}
+	// NaN q clamps to 0 rather than poisoning the interpolation.
+	if got, want := h.Quantile(math.NaN()), h.Quantile(0); got != want {
+		t.Errorf("Quantile(NaN) = %g, want Quantile(0) = %g", got, want)
+	}
+
+	// A histogram built with no buckets at all (every observation lands in
+	// the implicit overflow bucket) must not panic and must report a
+	// defined value.
+	nobuckets := newHistogram(nil)
+	nobuckets.Observe(3)
+	if got := nobuckets.Quantile(0.5); got != 0 {
+		t.Errorf("no-bucket Quantile(0.5) = %g, want defined 0", got)
+	}
+	if s := nobuckets.Snapshot(); s.Count != 1 || s.Sum != 3 {
+		t.Errorf("no-bucket snapshot = %+v, want count 1 sum 3", s)
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	h := newHistogram(DurationBuckets())
 	var wg sync.WaitGroup

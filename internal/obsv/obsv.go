@@ -17,7 +17,9 @@ package obsv
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"runtime/metrics"
 	"sync"
 	"sync/atomic"
@@ -45,6 +47,15 @@ type Event struct {
 	// Span and Parent identify the span tree; ids are unique per Tracer.
 	Span   uint64 `json:"span,omitempty"`
 	Parent uint64 `json:"parent,omitempty"`
+	// Run is the span id of the enclosing run (StartRun) span: the run span
+	// itself and every phase span nested under it carry the same Run value,
+	// which is what lets trace consumers separate the events of interleaved
+	// concurrent runs in one JSONL stream. Zero for events outside any run.
+	Run uint64 `json:"run,omitempty"`
+	// Trace is the tracer-level trace id (SetTraceID), stamped on every
+	// event so traces from several invocations stay separable after files
+	// are concatenated. Empty when the tracer has no id.
+	Trace string `json:"trace,omitempty"`
 	// DurNS is the span duration in nanoseconds (run_end and phase events).
 	DurNS int64 `json:"dur_ns,omitempty"`
 	// Alloc is the process-wide heap-allocation delta across the span in
@@ -103,6 +114,7 @@ type Tracer struct {
 	sinks []Sink
 	ids   atomic.Uint64
 	reg   *Registry
+	trace string
 }
 
 // New returns a tracer with the given sinks.
@@ -133,6 +145,49 @@ func (t *Tracer) SetRegistry(r *Registry) *Tracer {
 	return t
 }
 
+// SetTraceID attaches a trace id stamped on every subsequent event. The id
+// identifies one tracer lifetime (one CLI invocation, one service run) so
+// that concatenated JSONL files remain separable; it returns the tracer for
+// chaining.
+func (t *Tracer) SetTraceID(id string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.trace = id
+	t.mu.Unlock()
+	return t
+}
+
+// NewTraceID builds a trace id unique enough to separate concatenated JSONL
+// files: prefix, pid and start time. Not cryptographic — two invocations in
+// the same nanosecond with the same pid would collide, which cannot happen
+// on one machine.
+func NewTraceID(prefix string) string {
+	return fmt.Sprintf("%s-%d-%d", prefix, os.Getpid(), time.Now().UnixNano())
+}
+
+// EmitTraceMeta records one "trace_meta" event carrying invocation-level
+// fields (seed, scale, go version...). Trace analyzers surface these as the
+// trace's header; emit it once, right after SetTraceID.
+func (t *Tracer) EmitTraceMeta(fields map[string]any) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Type: "trace_meta", Fields: fields})
+}
+
+// TraceID returns the trace id set by SetTraceID ("" when unset or on a nil
+// tracer).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trace
+}
+
 // Registry returns the attached metrics registry (nil when absent or when
 // the tracer itself is nil — Registry methods tolerate both).
 func (t *Tracer) Registry() *Registry {
@@ -154,6 +209,9 @@ func (t *Tracer) emit(e Event) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if e.Trace == "" {
+		e.Trace = t.trace
+	}
 	for _, s := range t.sinks {
 		s.Event(e)
 	}
@@ -200,18 +258,19 @@ func (t *Tracer) EmitMetrics() {
 
 // StartRun opens a run span: a run_start event now, a run_end event (with
 // duration and allocation delta) when the returned span is ended. Inner
-// phases hang off the returned span via Phase.
+// phases hang off the returned span via Phase. The span's id doubles as the
+// run id carried by every event emitted under it (Event.Run).
 func (t *Tracer) StartRun(algorithm string, fields map[string]any) *Span {
-	return t.startSpan("run", algorithm, 0, fields)
+	return t.startSpan("run", algorithm, 0, 0, fields)
 }
 
 // StartSpan opens a top-level phase span that emits a single phase event
 // when ended.
 func (t *Tracer) StartSpan(name string) *Span {
-	return t.startSpan("phase", name, 0, nil)
+	return t.startSpan("phase", name, 0, 0, nil)
 }
 
-func (t *Tracer) startSpan(kind, name string, parent uint64, fields map[string]any) *Span {
+func (t *Tracer) startSpan(kind, name string, parent, run uint64, fields map[string]any) *Span {
 	if t == nil {
 		return nil
 	}
@@ -219,13 +278,15 @@ func (t *Tracer) startSpan(kind, name string, parent uint64, fields map[string]a
 		tr:     t,
 		id:     t.ids.Add(1),
 		parent: parent,
+		run:    run,
 		name:   name,
 		kind:   kind,
 		start:  time.Now(),
 		alloc0: heapAllocBytes(),
 	}
 	if kind == "run" {
-		t.emit(Event{Type: "run_start", Name: name, Span: s.id, Fields: fields})
+		s.run = s.id
+		t.emit(Event{Type: "run_start", Name: name, Span: s.id, Run: s.run, Fields: fields})
 	} else if fields != nil {
 		s.fields = fields
 	}
@@ -245,6 +306,7 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64
+	run    uint64
 	name   string
 	kind   string
 	start  time.Time
@@ -260,7 +322,7 @@ func (s *Span) Phase(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.startSpan("phase", name, s.id, nil)
+	return s.tr.startSpan("phase", name, s.id, s.run, nil)
 }
 
 // Set annotates the span with a key/value pair included in its end event
@@ -282,7 +344,7 @@ func (s *Span) Event(typ string, fields map[string]any) {
 	if s == nil {
 		return
 	}
-	s.tr.emit(Event{Type: typ, Span: s.id, Parent: s.parent, Fields: fields})
+	s.tr.emit(Event{Type: typ, Span: s.id, Parent: s.parent, Run: s.run, Fields: fields})
 }
 
 // End closes the span, emitting run_end (kind run) or phase (kind phase)
@@ -309,7 +371,7 @@ func (s *Span) End() {
 		typ = "run_end"
 	}
 	s.tr.emit(Event{
-		Type: typ, Name: s.name, Span: s.id, Parent: s.parent,
+		Type: typ, Name: s.name, Span: s.id, Parent: s.parent, Run: s.run,
 		DurNS: dur.Nanoseconds(), Alloc: alloc, Fields: fields,
 	})
 	reg := s.tr.Registry()

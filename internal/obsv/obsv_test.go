@@ -106,6 +106,71 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRunAndTraceIDsOnEvents(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(sink).SetTraceID("trace-abc")
+
+	// Two interleaved runs: every event under a run must carry that run's
+	// span id so consumers can separate them.
+	runA := tr.StartRun("NSD", nil)
+	runB := tr.StartRun("GRASP", nil)
+	spA := runA.Phase("similarity")
+	spB := runB.Phase("similarity")
+	inner := spA.Phase("lanczos")
+	inner.Event("tick", nil)
+	inner.End()
+	spA.End()
+	spB.End()
+	runB.End()
+	runA.End()
+	tr.Progress("done")
+
+	starts := sink.byType("run_start")
+	if len(starts) != 2 {
+		t.Fatalf("run_start events = %d, want 2", len(starts))
+	}
+	idOf := map[string]uint64{}
+	for _, e := range starts {
+		if e.Run != e.Span {
+			t.Errorf("run_start %s: run id %d != span id %d", e.Name, e.Run, e.Span)
+		}
+		idOf[e.Name] = e.Run
+	}
+	wantRun := map[uint64]string{idOf["NSD"]: "NSD", idOf["GRASP"]: "GRASP"}
+	byRun := map[string][]string{}
+	sink.mu.Lock()
+	for _, e := range sink.events {
+		if e.Trace != "trace-abc" {
+			t.Errorf("event %q trace = %q, want trace-abc", e.Type, e.Trace)
+		}
+		if e.Type == "phase" || e.Type == "tick" {
+			if e.Run == 0 {
+				t.Errorf("event %q %q missing run id", e.Type, e.Name)
+				continue
+			}
+			algo := wantRun[e.Run]
+			byRun[algo] = append(byRun[algo], e.Name)
+		}
+	}
+	sink.mu.Unlock()
+	// The nested lanczos phase and its tick must land under NSD's run, not
+	// GRASP's, even though GRASP's span was opened in between.
+	found := false
+	for _, name := range byRun["NSD"] {
+		if name == "lanczos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("nested phase not attributed to its run: NSD saw %v", byRun["NSD"])
+	}
+	for _, name := range byRun["GRASP"] {
+		if name == "lanczos" {
+			t.Errorf("nested NSD phase leaked into GRASP's run")
+		}
+	}
+}
+
 func TestSpanEndIdempotent(t *testing.T) {
 	sink := &collectSink{}
 	tr := New(sink)

@@ -1,0 +1,203 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition of a Registry.
+//
+// Every instrument is exported under the "graphalign_" namespace with its
+// registry name sanitized to the Prometheus grammar (characters outside
+// [a-zA-Z0-9_:] become '_'). Histograms follow the standard cumulative
+// convention: each "_bucket" line counts observations less than or equal to
+// its "le" bound, the "+Inf" bucket equals "_count", and "_sum" carries the
+// running total of observed values. The per-phase duration histograms the
+// tracer records as "phase_seconds.<name>" are folded into one
+// "graphalign_phase_seconds" family with a phase label, so dashboards can
+// aggregate and facet across phases instead of discovering one metric name
+// per phase.
+//
+// Output is deterministic: families and label values are sorted, floats are
+// formatted with strconv 'g' formatting, and the content type matches the
+// text exposition version 0.0.4 that every Prometheus scraper accepts.
+
+// promNamespace prefixes every exported metric name.
+const promNamespace = "graphalign_"
+
+// phaseHistPrefix is the registry naming convention for per-phase duration
+// histograms (see Span.End); the suffix becomes the "phase" label.
+const phaseHistPrefix = "phase_seconds."
+
+// WritePrometheus writes the registry's instruments in Prometheus text
+// exposition format (version 0.0.4). A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+
+	// Snapshot the instrument maps under the registry lock, then read the
+	// instruments lock-free (their state is atomic).
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+
+	for _, name := range sortedKeys(counters) {
+		metric := promNamespace + sanitizeMetricName(name)
+		writeHeader(&b, metric, "counter", "registry counter "+name)
+		fmt.Fprintf(&b, "%s %d\n", metric, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		metric := promNamespace + sanitizeMetricName(name)
+		writeHeader(&b, metric, "gauge", "registry gauge "+name)
+		fmt.Fprintf(&b, "%s %s\n", metric, formatPromValue(gauges[name].Value()))
+	}
+
+	// Group histograms into families: the per-phase histograms share one
+	// family with a phase label; everything else is its own family.
+	type series struct {
+		label string // phase label value, "" for unlabeled families
+		hist  *Histogram
+	}
+	families := make(map[string][]series)
+	for name, h := range hists {
+		fam := promNamespace + sanitizeMetricName(name)
+		var label string
+		if phase, ok := strings.CutPrefix(name, phaseHistPrefix); ok && phase != "" {
+			fam, label = promNamespace+"phase_seconds", phase
+		}
+		families[fam] = append(families[fam], series{label: label, hist: h})
+	}
+	for _, fam := range sortedKeys(families) {
+		writeHeader(&b, fam, "histogram", "registry histogram")
+		ss := families[fam]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].label < ss[j].label })
+		for _, s := range ss {
+			writeHistogram(&b, fam, s.label, s.hist)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHeader emits the HELP and TYPE lines for one metric family.
+func writeHeader(b *strings.Builder, metric, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", metric, escapeHelp(help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", metric, typ)
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count series of one
+// histogram, with an optional phase label merged into the le label set.
+func writeHistogram(b *strings.Builder, metric, phase string, h *Histogram) {
+	snap := h.Snapshot()
+	extra := ""
+	if phase != "" {
+		extra = `phase="` + escapeLabel(phase) + `",`
+	}
+	var cum uint64
+	for _, bucket := range snap.Buckets {
+		cum += bucket.Count
+		le := "+Inf"
+		if !math.IsInf(bucket.LE, 1) {
+			le = formatPromValue(bucket.LE)
+		}
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", metric, extra, le, cum)
+	}
+	label := ""
+	if phase != "" {
+		label = `{phase="` + escapeLabel(phase) + `"}`
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", metric, label, formatPromValue(snap.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", metric, label, snap.Count)
+}
+
+// sanitizeMetricName maps an arbitrary registry name onto the Prometheus
+// metric-name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are legal
+// in HELP text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatPromValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with infinities spelled +Inf/-Inf.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PromHandler serves the registry in Prometheus text exposition format —
+// the handler behind the debug server's /metrics endpoint. A nil registry
+// serves an empty (valid) exposition.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The write only fails if the client went away; nothing to do.
+		_ = r.WritePrometheus(w)
+	})
+}

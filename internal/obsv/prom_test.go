@@ -1,0 +1,171 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition text for a small
+// registry: ordering, HELP/TYPE lines, name sanitization, the phase label
+// fold, label escaping, cumulative buckets and the +Inf bucket.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(3)
+	r.Counter("pool.workers_started").Add(7) // dot must sanitize to _
+	r.Gauge("pool.active_workers").Set(2.5)
+	h := r.Histogram("lap_solve_size", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500) // overflow bucket
+	// Per-phase histograms fold into one family with a phase label; the
+	// quoted backslash exercises label escaping.
+	r.Histogram(`phase_seconds.assign`, []float64{1}).Observe(0.5)
+	r.Histogram("phase_seconds.odd\"phase\\x", []float64{1}).Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP graphalign_pool_workers_started registry counter pool.workers_started
+# TYPE graphalign_pool_workers_started counter
+graphalign_pool_workers_started 7
+# HELP graphalign_runs_total registry counter runs_total
+# TYPE graphalign_runs_total counter
+graphalign_runs_total 3
+# HELP graphalign_pool_active_workers registry gauge pool.active_workers
+# TYPE graphalign_pool_active_workers gauge
+graphalign_pool_active_workers 2.5
+# HELP graphalign_lap_solve_size registry histogram
+# TYPE graphalign_lap_solve_size histogram
+graphalign_lap_solve_size_bucket{le="10"} 1
+graphalign_lap_solve_size_bucket{le="100"} 2
+graphalign_lap_solve_size_bucket{le="+Inf"} 3
+graphalign_lap_solve_size_sum 555
+graphalign_lap_solve_size_count 3
+# HELP graphalign_phase_seconds registry histogram
+# TYPE graphalign_phase_seconds histogram
+graphalign_phase_seconds_bucket{phase="assign",le="1"} 1
+graphalign_phase_seconds_bucket{phase="assign",le="+Inf"} 1
+graphalign_phase_seconds_sum{phase="assign"} 0.5
+graphalign_phase_seconds_count{phase="assign"} 1
+graphalign_phase_seconds_bucket{phase="odd\"phase\\x",le="1"} 0
+graphalign_phase_seconds_bucket{phase="odd\"phase\\x",le="+Inf"} 1
+graphalign_phase_seconds_sum{phase="odd\"phase\\x"} 2
+graphalign_phase_seconds_count{phase="odd\"phase\\x"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusInvariants checks the structural rules of the format
+// on a registry with every instrument kind: buckets are cumulative
+// (monotonically nondecreasing) and the +Inf bucket equals _count.
+func TestWritePrometheusInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("run_seconds", DurationBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.01)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	bucketRE := regexp.MustCompile(`^graphalign_run_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	var last uint64
+	var infCount, count uint64
+	var sawInf bool
+	for _, line := range strings.Split(b.String(), "\n") {
+		if m := bucketRE.FindStringSubmatch(line); m != nil {
+			n, err := strconv.ParseUint(m[2], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count %q: %v", m[2], err)
+			}
+			if n < last {
+				t.Errorf("bucket le=%s count %d < previous %d: not cumulative", m[1], n, last)
+			}
+			last = n
+			if m[1] == "+Inf" {
+				sawInf, infCount = true, n
+			}
+		}
+		if rest, ok := strings.CutPrefix(line, "graphalign_run_seconds_count "); ok {
+			n, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("_count %q: %v", rest, err)
+			}
+			count = n
+		}
+	}
+	if !sawInf {
+		t.Fatal("no +Inf bucket emitted")
+	}
+	if infCount != count || count != 100 {
+		t.Errorf("+Inf bucket = %d, _count = %d, want both 100", infCount, count)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry wrote %q, want empty", b.String())
+	}
+}
+
+// TestMetricsEndpointScrape is the end-to-end smoke test: StartDebugServer
+// must serve /metrics as parseable Prometheus text with the expected
+// content type.
+func TestMetricsEndpointScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs_total").Add(5)
+	reg.Histogram("phase_seconds.similarity", DurationBuckets()).Observe(0.02)
+	srv, addr, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q, want text exposition 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "graphalign_runs_total 5") {
+		t.Errorf("scrape missing counter:\n%s", text)
+	}
+	if !strings.Contains(text, `graphalign_phase_seconds_bucket{phase="similarity",le="+Inf"} 1`) {
+		t.Errorf("scrape missing +Inf bucket:\n%s", text)
+	}
+
+	// Every non-comment, non-blank line must match the exposition sample
+	// grammar: name{labels} value.
+	lineRE := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$`)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !lineRE.MatchString(line) {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}

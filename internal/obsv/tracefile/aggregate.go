@@ -1,0 +1,335 @@
+package tracefile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PhaseStats aggregates every occurrence of one phase name under one
+// algorithm, across all runs and nesting depths.
+type PhaseStats struct {
+	Algo  string
+	Phase string
+	Count int
+	// TotalNS sums the spans' wall-clock durations; SelfNS subtracts each
+	// span's children first (time spent in the phase itself).
+	TotalNS int64
+	SelfNS  int64
+	// AllocBytes sums the spans' heap-allocation deltas.
+	AllocBytes int64
+	// durs holds every span duration for exact quantiles.
+	durs []int64
+}
+
+// quantileNS reports the exact q-quantile of the recorded durations by
+// linear interpolation between order statistics. Zero for an empty set.
+func quantileNS(durs []int64, q float64) int64 {
+	n := len(durs)
+	if n == 0 {
+		return 0
+	}
+	if !(q >= 0) {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n || frac == 0 {
+		return durs[lo]
+	}
+	return durs[lo] + int64(frac*float64(durs[lo+1]-durs[lo]))
+}
+
+// P50, P95 and P99 are the exact duration quantiles of the phase's spans.
+func (s *PhaseStats) P50() int64 { return quantileNS(s.durs, 0.50) }
+func (s *PhaseStats) P95() int64 { return quantileNS(s.durs, 0.95) }
+func (s *PhaseStats) P99() int64 { return quantileNS(s.durs, 0.99) }
+
+// RunStats aggregates the runs of one algorithm.
+type RunStats struct {
+	Algo       string
+	Count      int
+	Errors     int
+	Incomplete int
+	TotalNS    int64
+	AllocBytes int64
+	durs       []int64
+}
+
+// P50, P95 and P99 are the exact duration quantiles of the algorithm's runs.
+func (s *RunStats) P50() int64 { return quantileNS(s.durs, 0.50) }
+func (s *RunStats) P95() int64 { return quantileNS(s.durs, 0.95) }
+func (s *RunStats) P99() int64 { return quantileNS(s.durs, 0.99) }
+
+// PathStep is one hop of a critical path: the phase name with its total and
+// self time at that level.
+type PathStep struct {
+	Name   string
+	DurNS  int64
+	SelfNS int64
+}
+
+// CriticalPath is the heaviest chain of nested phases of one run: starting
+// at the run root, it descends into the longest child at every level. It is
+// the answer to "where did this run's time actually go".
+type CriticalPath struct {
+	Algo  string
+	Trace string
+	RunID uint64
+	DurNS int64
+	Steps []PathStep
+}
+
+// PathOf computes the critical path of one run.
+func PathOf(r *Run) CriticalPath {
+	cp := CriticalPath{Algo: r.Algo, Trace: r.Trace, RunID: r.ID, DurNS: r.DurNS}
+	node := r.Root
+	for {
+		var widest *Span
+		for _, c := range node.Children {
+			if widest == nil || c.DurNS > widest.DurNS {
+				widest = c
+			}
+		}
+		if widest == nil {
+			break
+		}
+		cp.Steps = append(cp.Steps, PathStep{Name: widest.Name, DurNS: widest.DurNS, SelfNS: widest.SelfNS()})
+		node = widest
+	}
+	return cp
+}
+
+// Summary is the aggregate view of a Trace: per-algorithm run statistics,
+// per-(algorithm, phase) breakdowns, and the critical paths of the slowest
+// runs.
+type Summary struct {
+	Runs   []*RunStats   // sorted by algorithm
+	Phases []*PhaseStats // sorted by algorithm, then phase
+	// Paths holds every run's critical path, slowest runs first.
+	Paths []CriticalPath
+	// TornTail and Events mirror the parse-level counters.
+	TornTail int
+	Events   int
+	// Meta carries the producers' trace_meta fields keyed by trace id.
+	Meta map[string]map[string]any
+}
+
+// Summarize aggregates a parsed trace.
+func Summarize(t *Trace) *Summary {
+	runStats := map[string]*RunStats{}
+	phaseStats := map[[2]string]*PhaseStats{}
+	var paths []CriticalPath
+
+	for _, r := range t.Runs {
+		rs := runStats[r.Algo]
+		if rs == nil {
+			rs = &RunStats{Algo: r.Algo}
+			runStats[r.Algo] = rs
+		}
+		rs.Count++
+		if r.Err != "" {
+			rs.Errors++
+		}
+		if r.Incomplete {
+			rs.Incomplete++
+		} else {
+			rs.TotalNS += r.DurNS
+			rs.AllocBytes += r.Alloc
+			rs.durs = append(rs.durs, r.DurNS)
+		}
+		var walk func(s *Span)
+		walk = func(s *Span) {
+			key := [2]string{r.Algo, s.Name}
+			ps := phaseStats[key]
+			if ps == nil {
+				ps = &PhaseStats{Algo: r.Algo, Phase: s.Name}
+				phaseStats[key] = ps
+			}
+			ps.Count++
+			ps.TotalNS += s.DurNS
+			ps.SelfNS += s.SelfNS()
+			ps.AllocBytes += s.Alloc
+			ps.durs = append(ps.durs, s.DurNS)
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		for _, c := range r.Root.Children {
+			walk(c)
+		}
+		if !r.Incomplete {
+			paths = append(paths, PathOf(r))
+		}
+	}
+
+	sum := &Summary{
+		TornTail: t.TornTail,
+		Events:   t.Events,
+		Meta:     t.Meta,
+	}
+	for _, rs := range runStats {
+		sort.Slice(rs.durs, func(i, j int) bool { return rs.durs[i] < rs.durs[j] })
+		sum.Runs = append(sum.Runs, rs)
+	}
+	sort.Slice(sum.Runs, func(i, j int) bool { return sum.Runs[i].Algo < sum.Runs[j].Algo })
+	for _, ps := range phaseStats {
+		sort.Slice(ps.durs, func(i, j int) bool { return ps.durs[i] < ps.durs[j] })
+		sum.Phases = append(sum.Phases, ps)
+	}
+	sort.Slice(sum.Phases, func(i, j int) bool {
+		a, b := sum.Phases[i], sum.Phases[j]
+		if a.Algo != b.Algo {
+			return a.Algo < b.Algo
+		}
+		return a.Phase < b.Phase
+	})
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].DurNS != paths[j].DurNS {
+			return paths[i].DurNS > paths[j].DurNS
+		}
+		if paths[i].Trace != paths[j].Trace {
+			return paths[i].Trace < paths[j].Trace
+		}
+		return paths[i].RunID < paths[j].RunID
+	})
+	sum.Paths = paths
+	return sum
+}
+
+// WriteFolded renders the trace as folded stacks for flamegraph tools
+// (flamegraph.pl, speedscope, inferno): one "algo;phase;...;leaf value"
+// line per distinct stack, value in microseconds of self time, identical
+// stacks merged, sorted. Run self time (run duration minus its top-level
+// phases) appears as the bare "algo" frame.
+func WriteFolded(w io.Writer, t *Trace) error {
+	folded := map[string]int64{}
+	var walk func(prefix string, s *Span)
+	walk = func(prefix string, s *Span) {
+		stack := prefix + ";" + sanitizeFrame(s.Name)
+		folded[stack] += s.SelfNS()
+		for _, c := range s.Children {
+			walk(stack, c)
+		}
+	}
+	for _, r := range t.Runs {
+		root := sanitizeFrame(r.Algo)
+		folded[root] += r.Root.SelfNS()
+		for _, c := range r.Root.Children {
+			walk(root, c)
+		}
+	}
+	stacks := make([]string, 0, len(folded))
+	for stack := range folded {
+		stacks = append(stacks, stack)
+	}
+	sort.Strings(stacks)
+	for _, stack := range stacks {
+		us := folded[stack] / 1000
+		if us <= 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, us); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeFrame keeps a frame name inside the folded-stack grammar, where
+// ';' separates frames and ' ' separates the stack from its value.
+func sanitizeFrame(name string) string {
+	name = strings.ReplaceAll(name, ";", ",")
+	return strings.ReplaceAll(name, " ", "_")
+}
+
+// DiffOptions tune regression detection.
+type DiffOptions struct {
+	// Threshold is the relative slowdown that counts as a regression
+	// (0.2 = 20% slower). Zero defaults to 0.2.
+	Threshold float64
+	// MinNS ignores phases whose p50 stayed under this duration in both
+	// traces — tiny phases are all scheduler noise. Zero defaults to 1ms.
+	MinNS int64
+}
+
+// PhaseDelta compares one (algorithm, phase) between two traces. The run
+// row uses the reserved phase name "(run)".
+type PhaseDelta struct {
+	Algo, Phase        string
+	OldP50NS, NewP50NS int64
+	OldCount, NewCount int
+	// Ratio is NewP50/OldP50 (0 when the phase is missing on either side).
+	Ratio float64
+	// Regressed marks a slowdown beyond the threshold.
+	Regressed bool
+}
+
+// RunPhaseName is the pseudo-phase under which Diff reports whole-run
+// durations.
+const RunPhaseName = "(run)"
+
+// Diff compares two summaries phase by phase on p50 duration, flagging
+// slowdowns beyond opt.Threshold. Phases present on only one side are
+// reported with a zero ratio but never flagged — appearing or disappearing
+// phases are a code change, not a measured regression. The returned deltas
+// are sorted worst-ratio first.
+func Diff(before, after *Summary, opt DiffOptions) []PhaseDelta {
+	if opt.Threshold == 0 {
+		opt.Threshold = 0.2
+	}
+	if opt.MinNS == 0 {
+		opt.MinNS = 1_000_000
+	}
+	type side struct {
+		p50   int64
+		count int
+	}
+	rows := map[[2]string][2]side{}
+	collect := func(s *Summary, idx int) {
+		for _, rs := range s.Runs {
+			key := [2]string{rs.Algo, RunPhaseName}
+			r := rows[key]
+			r[idx] = side{p50: rs.P50(), count: rs.Count}
+			rows[key] = r
+		}
+		for _, ps := range s.Phases {
+			key := [2]string{ps.Algo, ps.Phase}
+			r := rows[key]
+			r[idx] = side{p50: ps.P50(), count: ps.Count}
+			rows[key] = r
+		}
+	}
+	collect(before, 0)
+	collect(after, 1)
+
+	var out []PhaseDelta
+	for key, r := range rows {
+		d := PhaseDelta{
+			Algo: key[0], Phase: key[1],
+			OldP50NS: r[0].p50, NewP50NS: r[1].p50,
+			OldCount: r[0].count, NewCount: r[1].count,
+		}
+		if r[0].count > 0 && r[1].count > 0 && r[0].p50 > 0 {
+			d.Ratio = float64(r[1].p50) / float64(r[0].p50)
+			big := r[0].p50 >= opt.MinNS || r[1].p50 >= opt.MinNS
+			d.Regressed = big && d.Ratio > 1+opt.Threshold
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio > out[j].Ratio
+		}
+		if out[i].Algo != out[j].Algo {
+			return out[i].Algo < out[j].Algo
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}

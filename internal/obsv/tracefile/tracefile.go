@@ -1,0 +1,323 @@
+// Package tracefile parses and analyzes the JSONL trace files written by
+// the obsv tracer (alignbench -trace-out, alignrun -trace-out): it
+// stream-parses events, rebuilds the span tree of every algorithm run, and
+// aggregates per-phase statistics, critical paths, folded flamegraph
+// stacks and A/B regression diffs on top of them. It is the read side of
+// the trace-file schema contract documented in DESIGN.md §13.
+//
+// Robustness rules:
+//
+//   - Torn tail: a process killed mid-write leaves at most one partial
+//     final line; that line is ignored (Trace.TornTail reports it). A
+//     malformed line *followed by more data* is file corruption and a hard
+//     error — silently skipping interior lines would bias every aggregate.
+//   - Interleaved runs: events carry the span id of their enclosing run
+//     (Event.Run), so the phases of concurrent runs separate cleanly. For
+//     files predating the run-id field, the parser falls back to resolving
+//     the parent chain.
+//   - Concatenated files: events carry a per-invocation trace id
+//     (Event.Trace); span ids are only unique within one tracer, so all
+//     span bookkeeping is keyed by (trace, id). Events without a trace id
+//     inherit the fallback label passed to Read (the file name, for file
+//     inputs).
+package tracefile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"graphalign/internal/obsv"
+)
+
+// Span is one completed timed region rebuilt from a phase or run_end event.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Run    uint64
+	Trace  string
+	// Name is the phase name (or the algorithm name for the run root).
+	Name string
+	// EndNS is the event timestamp (spans are emitted when they end).
+	EndNS int64
+	// DurNS is the span's wall-clock duration in nanoseconds.
+	DurNS int64
+	// Alloc is the process-wide heap-allocation delta across the span.
+	Alloc    int64
+	Fields   map[string]any
+	Children []*Span
+}
+
+// SelfNS is the span's duration minus its children's (clamped at zero:
+// with concurrent children the sum can exceed the parent's wall clock).
+func (s *Span) SelfNS() int64 {
+	var kids int64
+	for _, c := range s.Children {
+		kids += c.DurNS
+	}
+	if self := s.DurNS - kids; self > 0 {
+		return self
+	}
+	return 0
+}
+
+// Run is one algorithm run: a run_start/run_end pair plus the tree of phase
+// spans recorded under it.
+type Run struct {
+	Trace string
+	ID    uint64
+	// Algo is the algorithm name from run_start.
+	Algo string
+	// StartNS is the run_start timestamp.
+	StartNS int64
+	// DurNS and Alloc come from run_end; both stay zero for a run whose
+	// end event never made it to the file (see Incomplete).
+	DurNS int64
+	Alloc int64
+	// Err is the run error annotated on run_end ("" for a clean run).
+	Err string
+	// Fields carries the run_start annotations (assign method, sizes).
+	Fields map[string]any
+	// Root is the run span; its Children are the top-level phases.
+	Root *Span
+	// Incomplete marks a run with no run_end event (crash, torn tail).
+	Incomplete bool
+}
+
+// Trace is the parsed content of one or more trace JSONL streams.
+type Trace struct {
+	Runs []*Run
+	// Meta maps a trace id to the fields of its trace_meta event (seed,
+	// scale, go version — whatever the producer recorded).
+	Meta map[string]map[string]any
+	// Events counts all parsed events; ByType breaks them down.
+	Events int
+	ByType map[string]int
+	// TornTail reports how many partial final lines were dropped (at most
+	// one per Read call).
+	TornTail int
+}
+
+// spanKey identifies a span across concatenated traces.
+type spanKey struct {
+	trace string
+	id    uint64
+}
+
+// Parser accumulates events across multiple Read calls into one Trace.
+type Parser struct {
+	trace *Trace
+	spans map[spanKey]*Span
+	runs  map[spanKey]*Run
+}
+
+// NewParser returns a parser whose Read calls accumulate into a single
+// Trace — the way to analyze several files as one dataset.
+func NewParser() *Parser {
+	return &Parser{
+		trace: &Trace{Meta: map[string]map[string]any{}, ByType: map[string]int{}},
+		spans: map[spanKey]*Span{},
+		runs:  map[spanKey]*Run{},
+	}
+}
+
+// Trace finalizes the parse: every phase span is attached to its parent
+// (or its run root), children are ordered by end time, and the accumulated
+// Trace is returned. Call after the last Read.
+func (p *Parser) Trace() *Trace {
+	for key, s := range p.spans {
+		if s.Run != 0 {
+			if r, ok := p.runs[spanKey{key.trace, s.Run}]; ok {
+				p.attach(key.trace, r, s)
+				continue
+			}
+		}
+		// Pre-run-id trace: resolve the parent chain to a run.
+		if r := p.runByParentChain(key.trace, s); r != nil {
+			p.attach(key.trace, r, s)
+		}
+	}
+	// Attachment order above follows map iteration; impose a deterministic
+	// child order (end time, then span id) so every downstream report is
+	// stable across parses of the same file.
+	for _, r := range p.trace.Runs {
+		sortTree(r.Root)
+	}
+	return p.trace
+}
+
+func sortTree(s *Span) {
+	sort.Slice(s.Children, func(i, j int) bool {
+		a, b := s.Children[i], s.Children[j]
+		if a.EndNS != b.EndNS {
+			return a.EndNS < b.EndNS
+		}
+		return a.ID < b.ID
+	})
+	for _, c := range s.Children {
+		sortTree(c)
+	}
+}
+
+// attach links s under its direct parent span when that span exists,
+// otherwise directly under the run root.
+func (p *Parser) attach(trace string, r *Run, s *Span) {
+	if s.Parent != 0 && s.Parent != r.ID {
+		if parent, ok := p.spans[spanKey{trace, s.Parent}]; ok {
+			parent.Children = append(parent.Children, s)
+			return
+		}
+	}
+	r.Root.Children = append(r.Root.Children, s)
+}
+
+// runByParentChain ascends Parent links until it finds a run span.
+func (p *Parser) runByParentChain(trace string, s *Span) *Run {
+	for hops := 0; hops < 1000; hops++ { // cycle guard on corrupt ids
+		if r, ok := p.runs[spanKey{trace, s.Parent}]; ok {
+			return r
+		}
+		next, ok := p.spans[spanKey{trace, s.Parent}]
+		if !ok {
+			return nil
+		}
+		s = next
+	}
+	return nil
+}
+
+// Read stream-parses one JSONL trace from r. fallbackTrace labels events
+// that carry no trace id of their own (use the file name). A torn final
+// line is tolerated; malformed interior lines are an error.
+func (p *Parser) Read(r io.Reader, fallbackTrace string) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	line := 0
+	var pendingErr error
+	var pendingLine int
+	for {
+		raw, err := br.ReadBytes('\n')
+		atEOF := err == io.EOF
+		if err != nil && !atEOF {
+			return err
+		}
+		text := strings.TrimSpace(string(raw))
+		if text != "" {
+			line++
+			// A malformed line earlier was only acceptable as a torn tail;
+			// seeing more data after it means real corruption.
+			if pendingErr != nil {
+				return fmt.Errorf("trace line %d: %w (followed by more events, so not a torn tail)", pendingLine, pendingErr)
+			}
+			var e obsv.Event
+			if uerr := json.Unmarshal([]byte(text), &e); uerr != nil {
+				pendingErr, pendingLine = uerr, line
+			} else {
+				p.event(e, fallbackTrace)
+			}
+		}
+		if atEOF {
+			break
+		}
+	}
+	if pendingErr != nil {
+		p.trace.TornTail++
+	}
+	return nil
+}
+
+// ReadFile parses one trace file, labeling trace-id-less events with the
+// file path.
+func (p *Parser) ReadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Read(f, path); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// event folds one parsed event into the accumulating state.
+func (p *Parser) event(e obsv.Event, fallbackTrace string) {
+	t := p.trace
+	t.Events++
+	t.ByType[e.Type]++
+	trace := e.Trace
+	if trace == "" {
+		trace = fallbackTrace
+	}
+	switch e.Type {
+	case "run_start":
+		run := &Run{
+			Trace:      trace,
+			ID:         e.Span,
+			Algo:       e.Name,
+			StartNS:    e.T,
+			Fields:     e.Fields,
+			Incomplete: true,
+			Root: &Span{
+				ID: e.Span, Run: e.Span, Trace: trace, Name: e.Name,
+			},
+		}
+		p.runs[spanKey{trace, e.Span}] = run
+		t.Runs = append(t.Runs, run)
+	case "run_end":
+		run, ok := p.runs[spanKey{trace, e.Span}]
+		if !ok {
+			// run_end without its start (file started mid-trace): synthesize
+			// the run so its phases still aggregate.
+			run = &Run{
+				Trace: trace, ID: e.Span, Algo: e.Name, Fields: e.Fields,
+				Root: &Span{ID: e.Span, Run: e.Span, Trace: trace, Name: e.Name},
+			}
+			p.runs[spanKey{trace, e.Span}] = run
+			t.Runs = append(t.Runs, run)
+		}
+		run.Incomplete = false
+		run.DurNS = e.DurNS
+		run.Alloc = e.Alloc
+		run.Root.DurNS = e.DurNS
+		run.Root.Alloc = e.Alloc
+		run.Root.EndNS = e.T
+		run.Root.Fields = e.Fields
+		if errv, ok := e.Fields["err"].(string); ok {
+			run.Err = errv
+		}
+	case "phase":
+		p.spans[spanKey{trace, e.Span}] = &Span{
+			ID: e.Span, Parent: e.Parent, Run: e.Run, Trace: trace,
+			Name: e.Name, EndNS: e.T, DurNS: e.DurNS, Alloc: e.Alloc,
+			Fields: e.Fields,
+		}
+	case "trace_meta":
+		if e.Fields != nil {
+			t.Meta[trace] = e.Fields
+		}
+	}
+}
+
+// Read parses a single JSONL stream into a Trace.
+func Read(r io.Reader, fallbackTrace string) (*Trace, error) {
+	p := NewParser()
+	if err := p.Read(r, fallbackTrace); err != nil {
+		return nil, err
+	}
+	return p.Trace(), nil
+}
+
+// ReadFiles parses one or more trace files into a single Trace.
+func ReadFiles(paths ...string) (*Trace, error) {
+	p := NewParser()
+	for _, path := range paths {
+		if err := p.ReadFile(path); err != nil {
+			return nil, err
+		}
+	}
+	return p.Trace(), nil
+}

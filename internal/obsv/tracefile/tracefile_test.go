@@ -1,0 +1,239 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"graphalign/internal/obsv"
+)
+
+// jsonl renders events as the tracer would.
+func jsonl(t *testing.T, events ...obsv.Event) string {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range events {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(raw)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// syntheticRun builds the events of one run with two top-level phases and a
+// nested phase, with exact durations (ms units for readability).
+func syntheticRun(trace string, runID uint64, algo string, simMS, innerMS, assignMS int64) []obsv.Event {
+	ms := int64(1_000_000)
+	return []obsv.Event{
+		{T: 1, Type: "run_start", Name: algo, Span: runID, Run: runID, Trace: trace},
+		{T: 2, Type: "phase", Name: "lanczos", Span: runID + 1, Parent: runID + 2, Run: runID, Trace: trace, DurNS: innerMS * ms, Alloc: 100},
+		{T: 3, Type: "phase", Name: "similarity", Span: runID + 2, Parent: runID, Run: runID, Trace: trace, DurNS: simMS * ms, Alloc: 500},
+		{T: 4, Type: "phase", Name: "assign", Span: runID + 3, Parent: runID, Run: runID, Trace: trace, DurNS: assignMS * ms, Alloc: 200},
+		{T: 5, Type: "run_end", Name: algo, Span: runID, Run: runID, Trace: trace, DurNS: (simMS + assignMS + 1) * ms, Alloc: 900},
+	}
+}
+
+func TestParseRebuildsSpanTrees(t *testing.T) {
+	events := syntheticRun("t1", 10, "GRASP", 100, 60, 40)
+	tr, err := Read(strings.NewReader(jsonl(t, events...)), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(tr.Runs))
+	}
+	r := tr.Runs[0]
+	if r.Algo != "GRASP" || r.Incomplete || r.DurNS != 141_000_000 {
+		t.Fatalf("run = %+v", r)
+	}
+	if len(r.Root.Children) != 2 {
+		t.Fatalf("top-level phases = %d, want 2 (similarity, assign)", len(r.Root.Children))
+	}
+	var sim *Span
+	for _, c := range r.Root.Children {
+		if c.Name == "similarity" {
+			sim = c
+		}
+	}
+	if sim == nil {
+		t.Fatal("similarity phase missing from tree")
+	}
+	if len(sim.Children) != 1 || sim.Children[0].Name != "lanczos" {
+		t.Fatalf("similarity children = %+v, want [lanczos]", sim.Children)
+	}
+	// Self time: 100ms similarity minus 60ms nested lanczos.
+	if got := sim.SelfNS(); got != 40_000_000 {
+		t.Errorf("similarity self = %d, want 40ms", got)
+	}
+}
+
+func TestParseSeparatesInterleavedRuns(t *testing.T) {
+	// Two runs whose events interleave in file order, as concurrent workers
+	// produce them. Phase attribution must follow run ids, not adjacency.
+	ms := int64(1_000_000)
+	events := []obsv.Event{
+		{T: 1, Type: "run_start", Name: "NSD", Span: 1, Run: 1},
+		{T: 2, Type: "run_start", Name: "GRASP", Span: 2, Run: 2},
+		{T: 3, Type: "phase", Name: "similarity", Span: 3, Parent: 2, Run: 2, DurNS: 30 * ms},
+		{T: 4, Type: "phase", Name: "similarity", Span: 4, Parent: 1, Run: 1, DurNS: 10 * ms},
+		{T: 5, Type: "run_end", Name: "GRASP", Span: 2, Run: 2, DurNS: 35 * ms},
+		{T: 6, Type: "run_end", Name: "NSD", Span: 1, Run: 1, DurNS: 12 * ms},
+	}
+	tr, err := Read(strings.NewReader(jsonl(t, events...)), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(tr.Runs))
+	}
+	for _, r := range tr.Runs {
+		if len(r.Root.Children) != 1 {
+			t.Fatalf("%s phases = %d, want 1", r.Algo, len(r.Root.Children))
+		}
+		sim := r.Root.Children[0]
+		want := map[string]int64{"NSD": 10 * ms, "GRASP": 30 * ms}[r.Algo]
+		if sim.DurNS != want {
+			t.Errorf("%s similarity = %dms, want %dms (cross-run attribution)", r.Algo, sim.DurNS/ms, want/ms)
+		}
+	}
+}
+
+func TestParseLegacyTraceWithoutRunIDs(t *testing.T) {
+	// Pre-run-id files: Run fields absent; attribution must fall back to
+	// the parent chain.
+	ms := int64(1_000_000)
+	events := []obsv.Event{
+		{T: 1, Type: "run_start", Name: "CONE", Span: 7},
+		{T: 2, Type: "phase", Name: "inner", Span: 9, Parent: 8, DurNS: 1 * ms},
+		{T: 3, Type: "phase", Name: "similarity", Span: 8, Parent: 7, DurNS: 2 * ms},
+		{T: 4, Type: "run_end", Name: "CONE", Span: 7, DurNS: 3 * ms},
+	}
+	tr, err := Read(strings.NewReader(jsonl(t, events...)), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(tr.Runs))
+	}
+	r := tr.Runs[0]
+	if len(r.Root.Children) != 1 || r.Root.Children[0].Name != "similarity" {
+		t.Fatalf("top-level = %+v, want [similarity]", r.Root.Children)
+	}
+	if kids := r.Root.Children[0].Children; len(kids) != 1 || kids[0].Name != "inner" {
+		t.Fatalf("nested = %+v, want [inner]", kids)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	full := jsonl(t, syntheticRun("t1", 10, "NSD", 5, 2, 3)...)
+	// Chop the final line mid-JSON, as a SIGKILL mid-write would.
+	torn := full[:len(full)-25]
+	if strings.HasSuffix(torn, "\n") {
+		t.Fatal("test setup: tail not actually torn")
+	}
+	tr, err := Read(strings.NewReader(torn), "f")
+	if err != nil {
+		t.Fatalf("torn tail must parse: %v", err)
+	}
+	if tr.TornTail != 1 {
+		t.Errorf("TornTail = %d, want 1", tr.TornTail)
+	}
+	if len(tr.Runs) != 1 || !tr.Runs[0].Incomplete {
+		t.Errorf("run with torn run_end must be retained as incomplete; got %+v", tr.Runs)
+	}
+}
+
+func TestMalformedInteriorLineIsError(t *testing.T) {
+	full := jsonl(t, syntheticRun("t1", 10, "NSD", 5, 2, 3)...)
+	lines := strings.SplitAfter(full, "\n")
+	corrupt := lines[0] + "{\"t\": 99, \"type\": tru\n" + strings.Join(lines[1:], "")
+	if _, err := Read(strings.NewReader(corrupt), "f"); err == nil {
+		t.Fatal("malformed interior line must be a parse error, not silently dropped")
+	}
+}
+
+func TestConcatenatedTracesKeyedByTraceID(t *testing.T) {
+	// Two invocations with colliding span ids, distinguished by trace id.
+	a := syntheticRun("inv-a", 10, "NSD", 5, 2, 3)
+	b := syntheticRun("inv-b", 10, "NSD", 50, 20, 30)
+	var buf bytes.Buffer
+	buf.WriteString(jsonl(t, a...))
+	buf.WriteString(jsonl(t, b...))
+	tr, err := Read(&buf, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 despite colliding span ids", len(tr.Runs))
+	}
+	durs := map[string]int64{}
+	for _, r := range tr.Runs {
+		durs[r.Trace] = r.DurNS
+	}
+	if durs["inv-a"] != 9_000_000 || durs["inv-b"] != 81_000_000 {
+		t.Errorf("per-trace run durations = %v", durs)
+	}
+}
+
+func TestTraceMetaCollected(t *testing.T) {
+	events := []obsv.Event{
+		{T: 1, Type: "trace_meta", Trace: "inv-a", Fields: map[string]any{"seed": 42.0, "go": "go1.24"}},
+	}
+	tr, err := Read(strings.NewReader(jsonl(t, events...)), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Meta["inv-a"]["seed"]; got != 42.0 {
+		t.Errorf("meta seed = %v, want 42", got)
+	}
+}
+
+// TestRoundTripThroughRealTracer drives the actual obsv tracer and parses
+// its output — the contract test between producer and consumer.
+func TestRoundTripThroughRealTracer(t *testing.T) {
+	var buf bytes.Buffer
+	ws := obsv.NewWriterSink(&buf)
+	tr := obsv.New(ws).SetTraceID("round-trip")
+	run := tr.StartRun("GRASP", map[string]any{"assign": "JV", "n_src": 10})
+	sim := run.Phase("similarity")
+	inner := sim.Phase("eigsolve")
+	inner.End()
+	sim.End()
+	asg := run.Phase("assign")
+	asg.End()
+	run.End()
+	if err := ws.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := Read(&buf, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(parsed.Runs))
+	}
+	r := parsed.Runs[0]
+	if r.Trace != "round-trip" || r.Algo != "GRASP" || r.Incomplete {
+		t.Fatalf("run = %+v", r)
+	}
+	names := map[string]bool{}
+	for _, c := range r.Root.Children {
+		names[c.Name] = true
+		for _, cc := range c.Children {
+			names[c.Name+"/"+cc.Name] = true
+		}
+	}
+	for _, want := range []string{"similarity", "assign", "similarity/eigsolve"} {
+		if !names[want] {
+			t.Errorf("span tree missing %q; have %v", want, names)
+		}
+	}
+	if r.Fields["assign"] != "JV" {
+		t.Errorf("run fields = %v, want assign=JV", r.Fields)
+	}
+}

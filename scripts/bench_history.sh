@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Appends one benchmark snapshot to the bench history: runs
+# scripts/bench_assign.sh (unless given an existing BENCH_assign.json) and
+# appends its object as a single JSONL line to BENCH_history.jsonl, the
+# input of `alignstat bench` — trajectory rendering plus regression gating
+# on the two most recent entries.
+#
+# Usage: scripts/bench_history.sh [snapshot.json] [history.jsonl]
+# From the repo root. Defaults: BENCH_assign.json BENCH_history.jsonl;
+# the snapshot is (re)generated unless REUSE_SNAPSHOT=1 and it exists.
+set -euo pipefail
+
+snapshot="${1:-BENCH_assign.json}"
+history="${2:-BENCH_history.jsonl}"
+
+if [ "${REUSE_SNAPSHOT:-0}" != "1" ] || [ ! -s "$snapshot" ]; then
+    scripts/bench_assign.sh "$snapshot"
+fi
+
+# One line per entry: strip the pretty-printed snapshot's newlines. The
+# snapshot is machine-written JSON, so whitespace-only collapsing is safe
+# (no string values contain newlines).
+tr -d '\n' < "$snapshot" >> "$history"
+printf '\n' >> "$history"
+
+echo "appended $snapshot to $history ($(wc -l < "$history") entries)" >&2
