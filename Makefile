@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet cover experiments clean
+.PHONY: all build test race bench vet cover experiments loadtest clean
 
 all: build
 
@@ -29,6 +29,10 @@ cover:
 # Regenerate every experiment at the default laptop scale.
 experiments:
 	$(GO) run ./cmd/alignbench -all -v -out results.txt
+
+# Stand up alignd and drive it with alignload; report in BENCH_serve.json.
+loadtest:
+	scripts/loadtest.sh
 
 clean:
 	rm -rf bench_results results.txt test_output.txt bench_output.txt

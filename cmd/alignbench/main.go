@@ -187,7 +187,9 @@ func runCLI() error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Graceful drain: an in-flight scrape (profile, collector read)
+		// finishes before the process exits rather than being cut off.
+		defer obsv.ShutdownServer(srv, 2*time.Second)
 		fmt.Fprintf(os.Stderr, "alignbench: debug server on http://%s/debug/pprof/\n", addr)
 	}
 	if observing {

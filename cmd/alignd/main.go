@@ -1,0 +1,188 @@
+// Command alignd is the alignment-as-a-service daemon: a long-running HTTP
+// API over the same library every batch CLI in this repository uses, so a
+// result computed by the daemon is byte-identical to the same call made
+// through graphalign.Align.
+//
+// Usage:
+//
+//	alignd [-addr 127.0.0.1:8080] [-workers 1] [-queue 64]
+//	       [-timeout 2m] [-max-timeout 10m] [-job-workers 0]
+//	       [-cache-budget 256MiB] [-keep-jobs 1024]
+//	       [-max-body 32MiB] [-max-nodes 0] [-max-edges 0]
+//	       [-trace-out trace.jsonl] [-debug-addr localhost:6060]
+//
+// API (JSON; see DESIGN.md §14 for the full contract):
+//
+//	POST   /v1/jobs             submit an alignment job (202 Accepted, or
+//	                            429 + Retry-After when the queue is full)
+//	GET    /v1/jobs             list tracked jobs
+//	GET    /v1/jobs/{id}        job status and, once done, the result
+//	GET    /v1/jobs/{id}/events JSONL progress stream (?follow=0: snapshot)
+//	DELETE /v1/jobs/{id}        cooperative cancel
+//	GET    /healthz             liveness (503 while shutting down)
+//	GET    /metrics             Prometheus text exposition
+//
+// On startup the daemon prints exactly one line to stdout:
+//
+//	alignd: listening on http://<bound address>
+//
+// which, with -addr 127.0.0.1:0, is how scripts discover the ephemeral port.
+//
+// SIGINT/SIGTERM drain gracefully: the API listener stops accepting and
+// finishes in-flight requests, running jobs are cancelled cooperatively,
+// queued jobs are finalized as cancelled, and only then does the process
+// exit. Jobs are never persisted — a restart starts clean.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphalign"
+	"graphalign/internal/cache"
+	"graphalign/internal/obsv"
+	"graphalign/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "alignd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon, factored so tests can start and stop it
+// in-process: it serves until ctx is cancelled, then drains and returns.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("alignd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		workers     = fs.Int("workers", 1, "jobs run concurrently")
+		queueSize   = fs.Int("queue", 64, "queued-job capacity; full queues answer 429")
+		timeout     = fs.Duration("timeout", 2*time.Minute, "default per-job wall-clock budget")
+		maxTimeout  = fs.Duration("max-timeout", 10*time.Minute, "cap on client-requested budgets")
+		jobWorkers  = fs.Int("job-workers", 0, "per-job parallel fan-out (0 = one per CPU)")
+		cacheBudget = fs.String("cache-budget", "", "shared artifact cache size, e.g. 256MiB (empty = no cache)")
+		keepJobs    = fs.Int("keep-jobs", 1024, "terminal jobs retained for GET before the oldest are dropped")
+		maxBody     = fs.String("max-body", "32MiB", "request body cap")
+		maxNodes    = fs.Int("max-nodes", 0, "per-graph node cap (0 = unlimited)")
+		maxEdges    = fs.Int("max-edges", 0, "per-graph edge cap (0 = unlimited)")
+		traceOut    = fs.String("trace-out", "", "append JSONL trace events to this file")
+		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address")
+		drain       = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := obsv.NewRegistry()
+	tracer := obsv.New().SetRegistry(reg)
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer f.Close()
+		tracer.AddSink(obsv.NewWriterSink(f))
+	}
+
+	var cacheBytes int64
+	if *cacheBudget != "" {
+		n, err := cache.ParseBytes(*cacheBudget)
+		if err != nil {
+			return fmt.Errorf("cache-budget: %w", err)
+		}
+		cacheBytes = n
+	}
+	bodyBytes, err := cache.ParseBytes(*maxBody)
+	if err != nil {
+		return fmt.Errorf("max-body: %w", err)
+	}
+
+	if *debugAddr != "" {
+		srv, dbg, err := obsv.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		fmt.Fprintf(stdout, "alignd: debug server on http://%s/debug/pprof/\n", dbg)
+		// Drained on exit like the API listener — never fire-and-forget.
+		defer obsv.ShutdownServer(srv, 2*time.Second)
+	}
+
+	engine, err := serve.New(serve.Options{
+		Factory:          graphalign.NewAligner,
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		JobWorkers:       *jobWorkers,
+		CacheBudgetBytes: cacheBytes,
+		Tracer:           tracer,
+		Registry:         reg,
+		KeepJobs:         *keepJobs,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler: engine.Handler(serve.HTTPOptions{
+			MaxBodyBytes: bodyBytes,
+			MaxNodes:     *maxNodes,
+			MaxEdges:     *maxEdges,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// The one line scripts parse; Listen already succeeded, so the printed
+	// address is connectable immediately.
+	fmt.Fprintf(stdout, "alignd: listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener failed on its own; still drain the engine so accepted
+		// jobs reach terminal states.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		engine.Shutdown(drainCtx)
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain. The two shutdowns must overlap: http.Server.Shutdown
+	// closes the listener immediately but then waits for in-flight requests,
+	// and a followed /events stream only ends when its job finalizes — which
+	// is the engine shutdown's doing. Engine first alone would kill jobs a
+	// just-accepted request is about to observe; HTTP first alone would hang
+	// on live event streams for the whole drain budget.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- obsv.ShutdownServer(httpSrv, *drain) }()
+	engineErr := engine.Shutdown(drainCtx)
+	httpErr := <-httpDone
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if httpErr != nil {
+		return fmt.Errorf("draining http server: %w", httpErr)
+	}
+	return engineErr
+}

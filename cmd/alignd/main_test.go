@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// daemon runs the alignd main loop in-process on an ephemeral port and
+// hands the test its base URL. stop() triggers the same graceful drain as
+// SIGINT/SIGTERM and waits for run() to return.
+type daemon struct {
+	url  string
+	stop func(t *testing.T)
+}
+
+func startDaemon(t *testing.T, extraArgs ...string) *daemon {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, extraArgs...)
+	runErr := make(chan error, 1)
+	go func() {
+		err := run(ctx, args, pw)
+		pw.Close()
+		runErr <- err
+	}()
+
+	// First stdout line: "alignd: listening on http://ADDR".
+	lineCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 256)
+		var line strings.Builder
+		for {
+			n, err := pr.Read(buf)
+			line.Write(buf[:n])
+			if s := line.String(); strings.Contains(s, "\n") || err != nil {
+				lineCh <- s
+				// Keep draining so later writes never block the daemon.
+				go io.Copy(io.Discard, pr)
+				return
+			}
+		}
+	}()
+	var url string
+	select {
+	case line := <-lineCh:
+		i := strings.Index(line, "http://")
+		if i < 0 {
+			cancel()
+			t.Fatalf("startup line %q has no address", line)
+		}
+		url = strings.TrimSpace(line[i:])
+	case err := <-runErr:
+		cancel()
+		t.Fatalf("daemon exited before printing its address: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never printed its address")
+	}
+
+	return &daemon{
+		url: url,
+		stop: func(t *testing.T) {
+			t.Helper()
+			cancel()
+			select {
+			case err := <-runErr:
+				if err != nil {
+					t.Fatalf("daemon exited with error: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("daemon never drained after cancellation")
+			}
+		},
+	}
+}
+
+func pathEdgeList(n int) string {
+	var b strings.Builder
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&b, "n%d n%d\n", i, i+1)
+	}
+	return b.String()
+}
+
+type jobView struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Result *struct {
+		Mapping []int `json:"mapping"`
+	} `json:"result"`
+}
+
+func submitJob(t *testing.T, url, algo string, n int) jobView {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"algo": algo, "src": pathEdgeList(n), "dst": pathEdgeList(n),
+	})
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var v jobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getJob(t *testing.T, url, id string) (jobView, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var v jobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+// TestDaemonKillAndRestartClean is the end-to-end restart test on real
+// sockets: run a job, drain the daemon, start a fresh one — the old job id
+// must 404 (nothing resurrected) and new submissions must work immediately.
+func TestDaemonKillAndRestartClean(t *testing.T) {
+	d := startDaemon(t)
+	v := submitJob(t, d.url, "NSD", 12)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, code := getJob(t, d.url, v.ID)
+		if code != http.StatusOK {
+			t.Fatalf("status %d polling job", code)
+		}
+		if got.Status == "done" {
+			if got.Result == nil || len(got.Result.Mapping) != 12 {
+				t.Fatalf("done without a full mapping: %+v", got.Result)
+			}
+			break
+		}
+		if got.Status == "failed" || got.Status == "cancelled" {
+			t.Fatalf("job ended %s", got.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d.stop(t)
+
+	// The port is free again and the new daemon has no memory of the job.
+	d2 := startDaemon(t)
+	defer d2.stop(t)
+	if _, code := getJob(t, d2.url, v.ID); code != http.StatusNotFound {
+		t.Fatalf("restarted daemon answered %d for the old job id, want 404", code)
+	}
+	v2 := submitJob(t, d2.url, "NSD", 12)
+	for time.Now().Before(deadline.Add(30 * time.Second)) {
+		got, _ := getJob(t, d2.url, v2.ID)
+		if got.Status == "done" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job on restarted daemon never finished")
+}
+
+// TestDaemonDrainCancelsRunningJobs: stopping the daemon mid-job must still
+// return promptly (cooperative cancel), not wait out the job budget.
+func TestDaemonDrainCancelsRunningJobs(t *testing.T) {
+	d := startDaemon(t, "-timeout", "5m")
+	// GRAAL on a largish pair is slow enough to still be running when we
+	// pull the plug; the drain must not take anywhere near the job budget.
+	v := submitJob(t, d.url, "GRAAL", 600)
+	start := time.Now()
+	d.stop(t)
+	if took := time.Since(start); took > 25*time.Second {
+		t.Fatalf("drain took %v — running job was not cancelled cooperatively", took)
+	}
+	_ = v
+}
+
+// TestDaemonBadFlags: flag errors surface as errors, not hangs.
+func TestDaemonBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-cache-budget", "wat"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "cache-budget") {
+		t.Fatalf("err = %v, want cache-budget parse error", err)
+	}
+}

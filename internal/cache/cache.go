@@ -132,6 +132,14 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (an
 			select {
 			case <-e.ready:
 				if !e.failed {
+					// Touch the LRU: a value just handed to a waiter is hot,
+					// and skipping the touch let concurrent tenants evict an
+					// entry in the same instant it was being served.
+					c.mu.Lock()
+					if e.elem != nil {
+						c.lru.MoveToFront(e.elem)
+					}
+					c.mu.Unlock()
 					c.counter("cache_hits_total").Add(1)
 					return e.value, nil
 				}
@@ -146,7 +154,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (an
 		c.mu.Unlock()
 		c.counter("cache_misses_total").Add(1)
 
-		v, bytes, err := compute()
+		v, bytes, err := c.lead(key, e, compute)
 		c.mu.Lock()
 		if err != nil {
 			// Never cache errors: unlink so the next caller recomputes, then
@@ -167,6 +175,31 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (an
 		c.mu.Unlock()
 		return v, nil
 	}
+}
+
+// lead runs the leader's compute with panic containment for the entry's
+// bookkeeping: if compute panics, the in-flight entry is unlinked and its
+// waiters are woken (they retry and elect a new leader) before the panic
+// propagates to the caller. Without this, a panicking compute — aligners do
+// panic on pathological inputs, which is why the runner and the serve layer
+// isolate panics per run — left a permanently in-flight entry, and every
+// later request for that key blocked forever: one poisoned artifact
+// deadlocked all tenants sharing the cache.
+func (c *Cache) lead(key string, e *entry, compute func() (any, int64, error)) (v any, bytes int64, err error) {
+	returned := false
+	defer func() {
+		if returned {
+			return
+		}
+		c.mu.Lock()
+		e.failed = true
+		delete(c.entries, key)
+		close(e.ready)
+		c.mu.Unlock()
+	}()
+	v, bytes, err = compute()
+	returned = true
+	return v, bytes, err
 }
 
 // evictLocked drops least-recently-used finished entries until the byte

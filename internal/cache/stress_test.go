@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestComputePanicDoesNotPoisonKey is the regression test for the poisoned
+// single-flight entry: before the fix, a compute that panicked left its
+// in-flight entry in the map with ready never closed, so every later
+// GetOrCompute of the same key blocked forever. The panic must still reach
+// the caller (the serve layer isolates panics per job), but the key must
+// recover. Pre-fix, this test times out on the second call.
+func TestComputePanicDoesNotPoisonKey(t *testing.T) {
+	c := New(0)
+	panicked := func() (p any) {
+		defer func() { p = recover() }()
+		c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+			panic("aligner blew up")
+		})
+		return nil
+	}()
+	if panicked == nil {
+		t.Fatal("panic must propagate to the caller")
+	}
+
+	done := make(chan any, 1)
+	go func() {
+		v, err := c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+			return 42, 8, nil
+		})
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		if got, ok := v.(int); !ok || got != 42 {
+			t.Fatalf("recompute after panic returned %v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("key poisoned: GetOrCompute after a panicking compute never returned")
+	}
+	if c.Len() != 1 || c.Bytes() != 8 {
+		t.Fatalf("after recovery: len=%d bytes=%d, want 1/8", c.Len(), c.Bytes())
+	}
+}
+
+// TestComputePanicWakesWaiters pins the multi-tenant variant: waiters queued
+// behind a leader whose compute panics must be woken to retry (and succeed)
+// rather than block forever.
+func TestComputePanicWakesWaiters(t *testing.T) {
+	c := New(0)
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var recomputes atomic.Int64
+
+	go func() {
+		defer func() { recover() }()
+		c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+			close(leaderIn)
+			<-release
+			panic("leader died")
+		})
+	}()
+	<-leaderIn
+
+	const waiters = 4
+	results := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrCompute(context.Background(), "k", func() (any, int64, error) {
+				recomputes.Add(1)
+				return 7, 1, nil
+			})
+			if err != nil {
+				return
+			}
+			results <- v.(int)
+		}()
+	}
+	// Give the waiters time to park on the in-flight entry, then kill the
+	// leader. Timing here only shapes interleavings; correctness must hold
+	// for any of them.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters never woke after the leader's compute panicked")
+	}
+	close(results)
+	n := 0
+	for v := range results {
+		n++
+		if v != 7 {
+			t.Fatalf("waiter got %d, want 7", v)
+		}
+	}
+	if n != waiters {
+		t.Fatalf("%d of %d waiters recovered", n, waiters)
+	}
+	if got := recomputes.Load(); got < 1 {
+		t.Fatalf("recomputes = %d, want >= 1", got)
+	}
+}
+
+// TestStressEvictionFailuresPanics hammers one small cache from many
+// goroutines with a key set larger than the budget (constant eviction racing
+// single-flight), deterministic compute failures, and occasional compute
+// panics. Run under -race it checks the locking; afterwards it audits the
+// internal accounting invariants the multi-tenant serve layer depends on:
+// bytes equals the sum over resident entries, the budget holds, the map and
+// the LRU list agree, and no entry is left permanently in flight.
+func TestStressEvictionFailuresPanics(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 400
+		keys       = 16
+		entryBytes = 64
+	)
+	// Budget fits only 4 of the 16 keys: every insert races eviction.
+	c := New(4 * entryBytes)
+	var ops, failures, panics atomic.Int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%keys)
+				seq := g*iters + i
+				func() {
+					defer func() {
+						if recover() != nil {
+							panics.Add(1)
+						}
+					}()
+					v, err := c.GetOrCompute(context.Background(), key, func() (any, int64, error) {
+						switch {
+						case seq%13 == 0:
+							panic("compute panic")
+						case seq%7 == 0:
+							return nil, 0, errors.New("compute failure")
+						}
+						return key, entryBytes, nil
+					})
+					ops.Add(1)
+					if err != nil {
+						failures.Add(1)
+						return
+					}
+					if v.(string) != key {
+						t.Errorf("key %s returned value %v", key, v)
+					}
+				}()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run deadlocked")
+	}
+
+	// Accounting audit (single-threaded now; touch internals directly).
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		sum += e.bytes
+		if e.elem != el {
+			t.Errorf("entry %s has stale LRU backlink", e.key)
+		}
+		select {
+		case <-e.ready:
+		default:
+			t.Errorf("entry %s resident in LRU but still in flight", e.key)
+		}
+		if me, ok := c.entries[e.key]; !ok || me != e {
+			t.Errorf("entry %s in LRU but not in map", e.key)
+		}
+	}
+	if sum != c.bytes {
+		t.Errorf("bytes accounting drifted: tracked %d, sum of entries %d", c.bytes, sum)
+	}
+	if c.bytes < 0 || c.bytes > c.budget {
+		t.Errorf("bytes %d outside [0, budget %d]", c.bytes, c.budget)
+	}
+	for key, e := range c.entries {
+		select {
+		case <-e.ready:
+		default:
+			t.Errorf("map entry %s left permanently in flight", key)
+		}
+		if e.elem == nil {
+			t.Errorf("finished map entry %s not resident in LRU", key)
+		}
+	}
+	if c.lru.Len() != len(c.entries) {
+		t.Errorf("LRU holds %d entries, map holds %d", c.lru.Len(), len(c.entries))
+	}
+	t.Logf("ops=%d failures=%d panics=%d resident=%d bytes=%d",
+		ops.Load(), failures.Load(), panics.Load(), c.lru.Len(), c.bytes)
+}

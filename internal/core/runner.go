@@ -105,7 +105,17 @@ func RunInstanceCtx(ctx context.Context, a algo.Aligner, pair noise.Pair, method
 
 // RunInstanceSpec is RunInstanceCtx with the full run configuration,
 // including the sparse assignment pipeline (RunSpec.AssignTopK).
-func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, spec RunSpec) (res RunResult) {
+func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, spec RunSpec) RunResult {
+	res, _ := RunInstanceMapped(ctx, a, pair, method, spec)
+	return res
+}
+
+// RunInstanceMapped is RunInstanceSpec also returning the alignment mapping
+// itself (mapping[u] = the pair.Target node aligned to pair.Source node u,
+// -1 for unmatched). The experiment framework only needs the scores, but a
+// serving front-end must hand the mapping back to the client; the mapping is
+// nil exactly when res.Err is non-nil.
+func RunInstanceMapped(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, spec RunSpec) (res RunResult, outMapping []int) {
 	tr, budget := spec.Tracer, spec.Budget
 	if budget > 0 {
 		var cancel context.CancelFunc
@@ -159,7 +169,7 @@ func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, metho
 	sp.End()
 	if err != nil {
 		res.Err = classifyRunErr(fmt.Errorf("similarity: %w", err), budget, reg)
-		return endRunErr(run, reg, res)
+		return endRunErr(run, reg, res), nil
 	}
 
 	sp = run.Phase("assign")
@@ -202,8 +212,8 @@ func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, metho
 	}
 	if err != nil {
 		sp.End()
-		res.Err = fmt.Errorf("assignment: %w", err)
-		return endRunErr(run, reg, res)
+		res.Err = classifyRunErr(fmt.Errorf("assignment: %w", err), budget, reg)
+		return endRunErr(run, reg, res), nil
 	}
 	res.AssignTime = time.Since(t1)
 	sp.End()
@@ -212,7 +222,7 @@ func RunInstanceSpec(ctx context.Context, a algo.Aligner, pair noise.Pair, metho
 	res.Scores = metrics.All(pair.Source, pair.Target, mapping, pair.TrueMap)
 	sp.End()
 	run.End()
-	return res
+	return res, mapping
 }
 
 // endRunErr closes a failed run's span with its error annotated and counts

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -16,8 +17,10 @@ import (
 //
 // so `go tool pprof http://addr/debug/pprof/profile` can attach to a
 // running sweep and any Prometheus-compatible collector can scrape the
-// metrics registry. It returns the server (shut it down when done) and the
-// bound address — pass "127.0.0.1:0" to let the kernel pick a free port.
+// metrics registry. It returns the server and the bound address — pass
+// "127.0.0.1:0" to let the kernel pick a free port. Stop it with
+// ShutdownServer (not Close), so an in-flight scrape — a CPU profile with
+// ?seconds=30, a collector mid-read — finishes instead of being cut off.
 func StartDebugServer(addr string, reg *Registry) (*http.Server, net.Addr, error) {
 	reg.PublishExpvar("graphalign")
 	mux := http.NewServeMux()
@@ -41,4 +44,25 @@ func StartDebugServer(addr string, reg *Registry) (*http.Server, net.Addr, error
 		_ = srv.Serve(ln)
 	}()
 	return srv, ln.Addr(), nil
+}
+
+// ShutdownServer gracefully drains an HTTP server started by this package
+// (or any *http.Server): the listener stops accepting immediately, in-flight
+// requests get up to timeout to complete, and only then are the remaining
+// connections force-closed. This is the counterpart every StartDebugServer
+// call site must defer — a bare Close cuts off in-flight scrapes and, in
+// tests, leaks the listener until process exit. Nil-safe on srv.
+func ShutdownServer(srv *http.Server, timeout time.Duration) error {
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Stragglers past the drain budget are cut off so the process can
+		// exit; the error reports that the drain was not clean.
+		srv.Close()
+		return err
+	}
+	return nil
 }

@@ -3,9 +3,11 @@ package obsv
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDebugServer(t *testing.T) {
@@ -15,7 +17,7 @@ func TestDebugServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer ShutdownServer(srv, 2*time.Second)
 
 	get := func(path string) (int, string) {
 		t.Helper()
@@ -54,5 +56,71 @@ func TestDebugServer(t *testing.T) {
 func TestDebugServerBadAddr(t *testing.T) {
 	if _, _, err := StartDebugServer("256.0.0.1:bogus", NewRegistry()); err == nil {
 		t.Fatal("expected error for unusable address")
+	}
+}
+
+// TestShutdownServerDrainsInFlightScrape is the regression test for the
+// fire-and-forget debug server: callers used to srv.Close() (or nothing at
+// all), which cuts off in-flight scrapes mid-body and leaks the listener in
+// tests. ShutdownServer must let a slow scrape finish, then refuse new
+// connections. The pre-fix behavior (Close) fails the completed-scrape
+// assertion.
+func TestShutdownServerDrainsInFlightScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("drain_test_counter").Add(7)
+	srv, addr, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A runtime trace with ?seconds= holds the response open server-side:
+	// exactly the in-flight scrape a bare Close would sever.
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan result, 1)
+	started := make(chan struct{})
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/trace?seconds=1", addr))
+		if err != nil {
+			close(started)
+			done <- result{err: err}
+			return
+		}
+		close(started) // headers received: the scrape is in flight
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode, body: body, err: rerr}
+	}()
+
+	<-started
+	if err := ShutdownServer(srv, 5*time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight scrape cut off during shutdown: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight scrape status = %d, want 200", res.status)
+	}
+	if len(res.body) == 0 {
+		t.Fatal("in-flight scrape returned an empty trace body")
+	}
+
+	// The listener must be gone: new connections are refused.
+	if conn, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting connections after shutdown")
+	}
+}
+
+// TestShutdownServerNil keeps ShutdownServer safe on a nil server, matching
+// the package's nil-tolerant style.
+func TestShutdownServerNil(t *testing.T) {
+	if err := ShutdownServer(nil, time.Second); err != nil {
+		t.Fatal(err)
 	}
 }

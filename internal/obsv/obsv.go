@@ -109,12 +109,22 @@ func (f ProgressFunc) Event(e Event) {
 // Tracer fans events out to its sinks and mirrors span timings into an
 // optional metrics Registry. A nil *Tracer is a valid, fully disabled
 // tracer.
+//
+// A tracer owns one trace identity (SetTraceID). For concurrent independent
+// runs sharing one sink fan-out — e.g. the jobs of an alignment daemon —
+// derive one child tracer per run with ChildTrace: children share the
+// parent's sinks, span-id space and registry but stamp their own trace id,
+// so interleaved jobs never cross-stamp each other's events.
 type Tracer struct {
 	mu    sync.Mutex
 	sinks []Sink
 	ids   atomic.Uint64
 	reg   *Registry
 	trace string
+	// parent is non-nil on child tracers (ChildTrace): events emitted here
+	// also fan out through the parent chain, and span ids are allocated from
+	// the root so one merged stream stays collision-free.
+	parent *Tracer
 }
 
 // New returns a tracer with the given sinks.
@@ -159,6 +169,29 @@ func (t *Tracer) SetTraceID(id string) *Tracer {
 	return t
 }
 
+// ChildTrace derives a tracer for one concurrent run (one daemon job, one
+// tenant): the child shares t's span-id space and metrics registry, and every
+// event it emits is delivered first to the child's own sinks (AddSink on the
+// child attaches per-run sinks, e.g. a job's progress log) and then up
+// through t's sink fan-out. The child stamps id on its events regardless of
+// t's own trace id, so concurrent children never cross-stamp — the per-run
+// replacement for mutating a shared tracer with SetTraceID. Nil-safe: a nil
+// tracer returns a nil (disabled) child.
+func (t *Tracer) ChildTrace(id string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{parent: t, trace: id, reg: t.Registry()}
+}
+
+// root walks to the top of the parent chain (t itself when not a child).
+func (t *Tracer) root() *Tracer {
+	for t.parent != nil {
+		t = t.parent
+	}
+	return t
+}
+
 // NewTraceID builds a trace id unique enough to separate concatenated JSONL
 // files: prefix, pid and start time. Not cryptographic — two invocations in
 // the same nanosecond with the same pid would collide, which cannot happen
@@ -199,7 +232,10 @@ func (t *Tracer) Registry() *Registry {
 	return t.reg
 }
 
-// emit stamps and fans out one event.
+// emit stamps and fans out one event: first to this tracer's own sinks, then
+// up the parent chain. Each tracer's sinks are invoked under that tracer's
+// mutex, preserving the Sink contract (serialized delivery, no sink-side
+// locking) even when several children emit concurrently into one parent.
 func (t *Tracer) emit(e Event) {
 	if t == nil {
 		return
@@ -207,13 +243,17 @@ func (t *Tracer) emit(e Event) {
 	if e.T == 0 {
 		e.T = time.Now().UnixNano()
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if e.Trace == "" {
-		e.Trace = t.trace
-	}
-	for _, s := range t.sinks {
-		s.Event(e)
+	for tr := t; tr != nil; {
+		tr.mu.Lock()
+		if e.Trace == "" {
+			e.Trace = tr.trace
+		}
+		for _, s := range tr.sinks {
+			s.Event(e)
+		}
+		next := tr.parent
+		tr.mu.Unlock()
+		tr = next
 	}
 }
 
@@ -275,18 +315,26 @@ func (t *Tracer) startSpan(kind, name string, parent, run uint64, fields map[str
 		return nil
 	}
 	s := &Span{
-		tr:     t,
-		id:     t.ids.Add(1),
+		tr: t,
+		// Span ids come from the root tracer so the merged stream of all
+		// child tracers stays collision-free.
+		id:     t.root().ids.Add(1),
 		parent: parent,
 		run:    run,
 		name:   name,
 		kind:   kind,
+		// The trace id is pinned at span start: every event of this span (and
+		// of child spans, which inherit it) carries the identity the tracer
+		// had when the run began, even if SetTraceID changes mid-run. Without
+		// this, two concurrent runs sharing a tracer would stamp each other's
+		// spans with whichever id was set last.
+		trace:  t.TraceID(),
 		start:  time.Now(),
 		alloc0: heapAllocBytes(),
 	}
 	if kind == "run" {
 		s.run = s.id
-		t.emit(Event{Type: "run_start", Name: name, Span: s.id, Run: s.run, Fields: fields})
+		t.emit(Event{Type: "run_start", Name: name, Span: s.id, Run: s.run, Trace: s.trace, Fields: fields})
 	} else if fields != nil {
 		s.fields = fields
 	}
@@ -309,6 +357,9 @@ type Span struct {
 	run    uint64
 	name   string
 	kind   string
+	// trace is the trace id pinned when the span was started (see startSpan);
+	// all the span's events carry it, immune to later SetTraceID calls.
+	trace  string
 	start  time.Time
 	alloc0 uint64
 	mu     sync.Mutex
@@ -317,12 +368,16 @@ type Span struct {
 }
 
 // Phase opens a child span; ending it emits a phase event carrying its
-// name, duration and allocation delta.
+// name, duration and allocation delta. The child inherits the parent span's
+// pinned trace id, so a whole run tree stays consistently stamped even when
+// the tracer's own id changes between phases.
 func (s *Span) Phase(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.startSpan("phase", name, s.id, s.run, nil)
+	child := s.tr.startSpan("phase", name, s.id, s.run, nil)
+	child.trace = s.trace
+	return child
 }
 
 // Set annotates the span with a key/value pair included in its end event
@@ -344,7 +399,7 @@ func (s *Span) Event(typ string, fields map[string]any) {
 	if s == nil {
 		return
 	}
-	s.tr.emit(Event{Type: typ, Span: s.id, Parent: s.parent, Run: s.run, Fields: fields})
+	s.tr.emit(Event{Type: typ, Span: s.id, Parent: s.parent, Run: s.run, Trace: s.trace, Fields: fields})
 }
 
 // End closes the span, emitting run_end (kind run) or phase (kind phase)
@@ -372,7 +427,7 @@ func (s *Span) End() {
 	}
 	s.tr.emit(Event{
 		Type: typ, Name: s.name, Span: s.id, Parent: s.parent, Run: s.run,
-		DurNS: dur.Nanoseconds(), Alloc: alloc, Fields: fields,
+		Trace: s.trace, DurNS: dur.Nanoseconds(), Alloc: alloc, Fields: fields,
 	})
 	reg := s.tr.Registry()
 	if reg != nil {

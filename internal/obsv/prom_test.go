@@ -7,6 +7,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 	"testing"
 )
 
@@ -132,7 +133,7 @@ func TestMetricsEndpointScrape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer ShutdownServer(srv, 2*time.Second)
 
 	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
 	if err != nil {

@@ -1,0 +1,146 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSpanTracePinnedAtStart is the regression test for the shared-tracer
+// cross-stamping bug: SetTraceID mutates tracer-wide state, so before spans
+// pinned their trace id at StartRun, every event of an in-flight run was
+// stamped with whichever id was set *last* — under two concurrent jobs,
+// spans carried the wrong job's trace id. This fails on the pre-fix code
+// (phase and run_end events pick up "second").
+func TestSpanTracePinnedAtStart(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(sink).SetTraceID("first")
+	run := tr.StartRun("A", nil)
+	tr.SetTraceID("second") // another job re-stamping the shared tracer
+	ph := run.Phase("inner")
+	ph.Event("tick", nil)
+	ph.End()
+	run.End()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, e := range sink.events {
+		if e.Trace != "first" {
+			t.Errorf("%s event stamped trace %q, want %q (pinned at StartRun)", e.Type, e.Trace, "first")
+		}
+	}
+}
+
+// TestChildTracersNoCrossStamping runs two interleaved jobs, each on its own
+// ChildTrace of a shared root, and asserts every event of a run carries the
+// trace id of the job that started it. Run under -race this also proves the
+// child fan-out path is free of data races.
+func TestChildTracersNoCrossStamping(t *testing.T) {
+	root := &collectSink{}
+	tr := New(root).SetTraceID("root")
+
+	const jobs, runsPerJob = 4, 50
+	var wg sync.WaitGroup
+	perJob := make([]*collectSink, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		perJob[j] = &collectSink{}
+		go func(j int) {
+			defer wg.Done()
+			id := fmt.Sprintf("job-%d", j)
+			child := tr.ChildTrace(id)
+			child.AddSink(perJob[j])
+			for r := 0; r < runsPerJob; r++ {
+				run := child.StartRun(id, map[string]any{"rep": r})
+				ph := run.Phase("similarity")
+				ph.Event("tick", nil)
+				ph.End()
+				run.Phase("assign").End()
+				run.End()
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	// The merged root stream: map each run id to the trace stamped on its
+	// run_start, then demand every event of that run agrees.
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	runTrace := make(map[uint64]string)
+	for _, e := range root.events {
+		if e.Type == "run_start" {
+			if prev, dup := runTrace[e.Run]; dup && prev != e.Trace {
+				t.Fatalf("run id %d reused across traces %q and %q", e.Run, prev, e.Trace)
+			}
+			runTrace[e.Run] = e.Trace
+			// The run name encodes the job that started it; trace must match.
+			if e.Trace != e.Name {
+				t.Fatalf("run %q stamped with trace %q", e.Name, e.Trace)
+			}
+		}
+	}
+	if len(runTrace) != jobs*runsPerJob {
+		t.Fatalf("saw %d runs, want %d", len(runTrace), jobs*runsPerJob)
+	}
+	for _, e := range root.events {
+		if e.Run == 0 {
+			continue
+		}
+		if want := runTrace[e.Run]; e.Trace != want {
+			t.Errorf("%s event of run %d cross-stamped: trace %q, want %q", e.Type, e.Run, e.Trace, want)
+		}
+	}
+
+	// Per-job sinks see only their own job's events; the shared root sees all.
+	for j, s := range perJob {
+		want := fmt.Sprintf("job-%d", j)
+		s.mu.Lock()
+		if len(s.events) == 0 {
+			t.Errorf("job %d sink saw no events", j)
+		}
+		for _, e := range s.events {
+			if e.Trace != want {
+				t.Errorf("job %d sink saw foreign event with trace %q", j, e.Trace)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// TestChildTraceNilSafe keeps the nil-tracer contract intact for children.
+func TestChildTraceNilSafe(t *testing.T) {
+	var tr *Tracer
+	child := tr.ChildTrace("job")
+	if child != nil {
+		t.Fatal("nil tracer must hand out a nil child")
+	}
+	child.StartRun("A", nil).End()
+	child.Emit("x", "y", nil)
+}
+
+// TestChildTraceSharesSpanIDSpace pins the merged-stream invariant: span ids
+// allocated by different children never collide.
+func TestChildTraceSharesSpanIDSpace(t *testing.T) {
+	sink := &collectSink{}
+	tr := New(sink)
+	a := tr.ChildTrace("a")
+	b := tr.ChildTrace("b")
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10; i++ {
+		for _, c := range []*Tracer{a, b} {
+			run := c.StartRun("x", nil)
+			run.End()
+		}
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, e := range sink.events {
+		if e.Type != "run_start" {
+			continue
+		}
+		if seen[e.Span] {
+			t.Fatalf("span id %d allocated twice across children", e.Span)
+		}
+		seen[e.Span] = true
+	}
+}

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphalign/internal/assign"
+	"graphalign/internal/graph"
+	"graphalign/internal/obsv"
+)
+
+// HTTPOptions bound what the API accepts per request.
+type HTTPOptions struct {
+	// MaxBodyBytes caps the request body (edge lists included); default 32 MiB.
+	MaxBodyBytes int64
+	// MaxNodes / MaxEdges cap each uploaded graph after parsing; 0 = no cap.
+	MaxNodes int
+	MaxEdges int
+}
+
+func (o HTTPOptions) withDefaults() HTTPOptions {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	return o
+}
+
+// SubmitRequest is the JSON body of POST /v1/jobs. The graphs travel as
+// whitespace-separated edge-list text, the same format every CLI in this
+// repository reads; node labels are interned in order of first appearance,
+// exactly like graph.ReadEdgeList, so a client parsing the same text gets
+// the same dense ids.
+type SubmitRequest struct {
+	Algo      string `json:"algo"`
+	Method    string `json:"method,omitempty"`
+	TopK      int    `json:"topk,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	WorkersMax int   `json:"workers,omitempty"`
+	Src       string `json:"src"`
+	Dst       string `json:"dst"`
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Kind: kind})
+}
+
+// Handler builds the daemon's HTTP API:
+//
+//	POST   /v1/jobs             submit (202, or 429 + Retry-After when full)
+//	GET    /v1/jobs             list tracked jobs
+//	GET    /v1/jobs/{id}        job status / result
+//	GET    /v1/jobs/{id}/events progress stream (JSONL; ?follow=0 for snapshot)
+//	DELETE /v1/jobs/{id}        cooperative cancel
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text exposition of the registry
+func (s *Server) Handler(opts HTTPOptions) http.Handler {
+	opts = opts.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r, opts)
+	})
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "", "shutting down")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /metrics", obsv.PromHandler(s.reg))
+	return mux
+}
+
+// parseGraphLimited parses one uploaded edge list and enforces the per-graph
+// caps. The byte budget is already enforced by MaxBytesReader on the body.
+func parseGraphLimited(name, text string, opts HTTPOptions) (*graph.Graph, []string, error) {
+	g, labels, err := graph.ReadEdgeList(strings.NewReader(text))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s graph: %w", name, err)
+	}
+	if g.N() == 0 {
+		return nil, nil, fmt.Errorf("%s graph: empty edge list", name)
+	}
+	if opts.MaxNodes > 0 && g.N() > opts.MaxNodes {
+		return nil, nil, fmt.Errorf("%s graph: %d nodes exceeds limit %d", name, g.N(), opts.MaxNodes)
+	}
+	if opts.MaxEdges > 0 && g.M() > opts.MaxEdges {
+		return nil, nil, fmt.Errorf("%s graph: %d edges exceeds limit %d", name, g.M(), opts.MaxEdges)
+	}
+	return g, labels, nil
+}
+
+func parseMethod(m string) (assign.Method, error) {
+	if m == "" {
+		return "", nil
+	}
+	for _, known := range assign.Methods() {
+		if m == string(known) {
+			return known, nil
+		}
+	}
+	return "", fmt.Errorf("unknown assignment method %q (have %v)", m, assign.Methods())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, opts HTTPOptions) {
+	r.Body = http.MaxBytesReader(w, r.Body, opts.MaxBodyBytes)
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "", "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "", "bad request body: %v", err)
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	if req.TopK < 0 || req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "", "topk and timeout_ms must be non-negative")
+		return
+	}
+	src, srcLabels, err := parseGraphLimited("src", req.Src, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	dst, dstLabels, err := parseGraphLimited("dst", req.Dst, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+
+	job, err := s.Submit(src, dst, srcLabels, dstLabels, Spec{
+		Algo:    req.Algo,
+		Method:  method,
+		TopK:    req.TopK,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Workers: req.WorkersMax,
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds())))
+		writeError(w, http.StatusTooManyRequests, "", "job queue full, retry later")
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "", "shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "", "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "", "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "", "no such job")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.View())
+}
+
+// handleEvents streams the job's progress log as JSONL. By default the
+// stream follows the job until it reaches a terminal state (the final
+// job_status event is the end-of-stream marker); ?follow=0 returns the
+// current snapshot and closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "", "no such job")
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	idx := 0
+	for {
+		events, changed := j.log.since(idx)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		idx += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if !follow {
+			return
+		}
+		// Drain-then-check: once the job is terminal, its finalize event has
+		// already been appended, so an empty read after terminal means done.
+		select {
+		case <-j.Done():
+			if events, _ := j.log.since(idx); len(events) == 0 {
+				return
+			}
+			continue
+		default:
+		}
+		select {
+		case <-changed:
+		case <-j.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

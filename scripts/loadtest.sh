@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# loadtest.sh — stand up alignd on an ephemeral port, drive it with
+# alignload, and leave a BENCH_serve.json report behind.
+#
+# Usage:
+#   scripts/loadtest.sh [jobs] [concurrency] [out.json]
+#
+# Defaults: 200 jobs, 100 concurrent clients, BENCH_serve.json. The script
+# fails (nonzero exit) when any accepted job is dropped, fails, or returns a
+# mapping that differs from the direct library call, or when the daemon's
+# panic counters are nonzero after the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-200}"
+CONCURRENCY="${2:-100}"
+OUT="${3:-BENCH_serve.json}"
+WORKERS="${ALIGND_WORKERS:-2}"
+QUEUE="${ALIGND_QUEUE:-256}"
+
+go build -o /tmp/alignd ./cmd/alignd
+go build -o /tmp/alignload ./cmd/alignload
+
+STAMP="$(mktemp -d)"
+trap 'kill "$DPID" 2>/dev/null || true; wait "$DPID" 2>/dev/null || true; rm -rf "$STAMP"' EXIT
+
+/tmp/alignd -addr 127.0.0.1:0 -workers "$WORKERS" -queue "$QUEUE" \
+  -cache-budget 256MiB -job-workers 1 > "$STAMP/alignd.out" 2> "$STAMP/alignd.err" &
+DPID=$!
+
+# First stdout line carries the bound address.
+URL=""
+for _ in $(seq 1 100); do
+  URL="$(sed -n 's/^alignd: listening on \(http:\/\/.*\)$/\1/p' "$STAMP/alignd.out" | head -n1)"
+  [ -n "$URL" ] && break
+  kill -0 "$DPID" 2>/dev/null || { echo "alignd died on startup:" >&2; cat "$STAMP/alignd.err" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$URL" ] || { echo "alignd never printed its address" >&2; exit 1; }
+echo "alignd up at $URL (pid $DPID)"
+
+/tmp/alignload -url "$URL" -jobs "$JOBS" -concurrency "$CONCURRENCY" \
+  -algo NSD -nodes 64 -p 0.1 -pairs 8 -seed 1 -out "$OUT"
+
+# The daemon must have survived the run without a single panic.
+METRICS="$(curl -sf "$URL/metrics")"
+for counter in serve_jobs_panic_total run_panics_total; do
+  bad="$(printf '%s\n' "$METRICS" | awk -v c="graphalign_$counter" '$1 == c && $2+0 > 0')"
+  if [ -n "$bad" ]; then
+    echo "FAIL: $bad" >&2
+    exit 1
+  fi
+done
+
+# Graceful drain: SIGTERM, then wait for a clean exit.
+kill -TERM "$DPID"
+wait "$DPID"
+trap 'rm -rf "$STAMP"' EXIT
+echo "loadtest ok: report in $OUT"
