@@ -44,6 +44,14 @@
 //	                       the one performance knob that can change results
 //	                       (deterministically; see DESIGN.md §11). 0 = off,
 //	                       byte-identical to the dense pipeline.
+//	-partitions 8          partition-align-stitch sharding: co-partition the
+//	                       two graphs into that many matched cluster pairs,
+//	                       align each pair independently (fresh aligner per
+//	                       shard, shards fanned across -workers), stitch the
+//	                       shard mappings and re-bid the boundary through the
+//	                       auction solver. Trades a bounded amount of accuracy
+//	                       for memory and scale (see DESIGN.md §15). 0 = off,
+//	                       byte-identical to the monolithic path.
 //
 // Observability (all off by default; none of these affect the results):
 //
@@ -101,6 +109,7 @@ func runCLI() error {
 		runTimeout  = flag.Duration("run-timeout", 0, "wall-clock budget per algorithm run (0 = off); over-budget runs are marked failed, the rest of the grid completes")
 		cacheBudget = flag.String("cache-budget", "", "share per-graph artifacts (spectra, embeddings, graphlet counts) across algorithms and reps, capped at this size (e.g. 512MiB, 1GB; 0 = off); results are byte-identical either way")
 		assignTopK  = flag.Int("assign-topk", 0, "sparse assignment pipeline: per-row top-k candidate generation (k-NN over embeddings, factor-space scoring for NSD/LREA) + sparse solvers (auction for JV/MWM); 0 = off (dense, byte-identical to default)")
+		partitions  = flag.Int("partitions", 0, "partition-align-stitch sharding: co-partition each instance into this many matched cluster pairs, align shards independently and stitch with boundary refinement; 0 = off (monolithic, byte-identical to default)")
 		ckptPath    = flag.String("checkpoint", "", "journal completed runs to this JSONL file")
 		resume      = flag.Bool("resume", false, "skip runs already journaled in -checkpoint")
 		traceOut    = flag.String("trace-out", "", "write span/metric events as JSONL to this file")
@@ -132,6 +141,7 @@ func runCLI() error {
 	}
 	opts.RunTimeout = *runTimeout
 	opts.AssignTopK = *assignTopK
+	opts.Partitions = *partitions
 	if *cacheBudget != "" {
 		n, err := cache.ParseBytes(*cacheBudget)
 		if err != nil {
@@ -261,6 +271,7 @@ func runCLI() error {
 		"reps":        *reps,
 		"workers":     *workers,
 		"assign_topk": *assignTopK,
+		"partitions":  *partitions,
 		"go":          runtime.Version(),
 		"gomaxprocs":  runtime.GOMAXPROCS(0),
 	})

@@ -14,7 +14,11 @@
 // API (JSON; see DESIGN.md §14 for the full contract):
 //
 //	POST   /v1/jobs             submit an alignment job (202 Accepted, or
-//	                            429 + Retry-After when the queue is full)
+//	                            429 + Retry-After when the queue is full);
+//	                            "partitions" >= 2 in the body runs the job
+//	                            through the partition-align-stitch sharding
+//	                            layer (DESIGN.md §15), streaming per-shard
+//	                            progress on the events endpoint
 //	GET    /v1/jobs             list tracked jobs
 //	GET    /v1/jobs/{id}        job status and, once done, the result
 //	GET    /v1/jobs/{id}/events JSONL progress stream (?follow=0: snapshot)

@@ -12,10 +12,20 @@
 // -trace-out run.jsonl streams structured span events (a run span with
 // similarity/assign phases plus the algorithm's inner phases) as JSONL,
 // ready for `alignstat summary`; tracing never changes the alignment.
+//
+// -partitions K (K >= 2) routes the run through the partition-align-stitch
+// sharding layer: the graphs are co-partitioned into K matched cluster
+// pairs, each pair is aligned independently across -workers goroutines with
+// a fresh aligner instance, and the shard mappings are stitched with an
+// auction-based boundary-refinement pass. Combine with -topk to keep the
+// per-shard assignment sparse. This is what makes n=100k alignments fit in
+// commodity memory (see DESIGN.md §15); 0 = off, byte-identical to the
+// monolithic path.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +34,7 @@ import (
 
 	"graphalign"
 	"graphalign/internal/obsv"
+	"graphalign/internal/partition"
 )
 
 func main() {
@@ -35,6 +46,9 @@ func main() {
 		truthP   = flag.String("truth", "", "ground-truth file of 'src dst' dense-id lines")
 		quiet    = flag.Bool("q", false, "suppress the mapping output, print only metrics")
 		traceOut = flag.String("trace-out", "", "write span events as JSONL to this file (alignstat summary input)")
+		parts    = flag.Int("partitions", 0, "partition-align-stitch sharding: co-partition into this many matched cluster pairs, align shards independently and stitch with boundary refinement; 0 = off (monolithic)")
+		topK     = flag.Int("topk", 0, "per-shard sparse assignment top-k (only with -partitions; 0 = dense)")
+		workers  = flag.Int("workers", 0, "concurrent shards (only with -partitions; 0 = one per CPU)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *dstPath == "" {
@@ -66,12 +80,19 @@ func main() {
 			"algo":       *algoName,
 			"src":        *srcPath,
 			"dst":        *dstPath,
+			"partitions": *parts,
 			"go":         runtime.Version(),
 			"gomaxprocs": runtime.GOMAXPROCS(0),
 		})
 	}
 
-	mapping, simTime, assignTime, err := graphalign.AlignTimedTraced(*algoName, src, dst, graphalign.AssignMethod(*method), tracer)
+	var mapping []int
+	var simTime, assignTime time.Duration
+	if *parts >= 2 {
+		mapping, simTime, assignTime, err = alignPartitioned(*algoName, src, dst, graphalign.AssignMethod(*method), *parts, *topK, *workers, tracer)
+	} else {
+		mapping, simTime, assignTime, err = graphalign.AlignTimedTraced(*algoName, src, dst, graphalign.AssignMethod(*method), tracer)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -110,6 +131,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, " accuracy=%.4f", scores.Accuracy)
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// alignPartitioned runs the sharded path: a fresh aligner per shard (the
+// shards run concurrently, so they cannot share one instance's state), the
+// algorithm's own default assignment when none was requested, and the
+// partition layer's AlignTime/StitchTime reported in place of the monolithic
+// similarity/assignment split.
+func alignPartitioned(name string, src, dst *graphalign.Graph, method graphalign.AssignMethod, parts, topK, workers int, tracer *graphalign.Tracer) ([]int, time.Duration, time.Duration, error) {
+	if method == "" {
+		a, err := graphalign.NewAligner(name)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		method = a.DefaultAssignment()
+	}
+	mapping, stats, err := partition.Align(context.Background(),
+		func() (graphalign.Aligner, error) { return graphalign.NewAligner(name) },
+		src, dst, method, partition.Options{K: parts, Workers: workers, TopK: topK, Tracer: tracer})
+	return mapping, stats.AlignTime, stats.StitchTime, err
 }
 
 func readTruth(path string, n int) ([]int, error) {

@@ -1,11 +1,14 @@
 package graphalign_test
 
 import (
+	"context"
 	"testing"
 
 	"graphalign"
 	"graphalign/internal/algo"
 	"graphalign/internal/algotest"
+	"graphalign/internal/assign"
+	"graphalign/internal/core"
 )
 
 // TestConformance runs the framework-level conformance suite — self-alignment
@@ -29,18 +32,69 @@ func TestConformance(t *testing.T) {
 		}
 	}
 	cases := []algotest.Conformance{
-		{Name: "IsoRank", New: mk("IsoRank"), N: 80, SelfMinAcc: 0.9},
-		{Name: "GRAAL", New: mk("GRAAL"), N: 80, SelfMinAcc: 0.85},
-		{Name: "NSD", New: mk("NSD"), N: 80, SelfMinAcc: 0.85, SparseTopK: 16},
-		{Name: "LREA", New: mk("LREA"), N: 80, SelfMinAcc: 0.9, SparseTopK: 16},
-		{Name: "REGAL", New: mk("REGAL"), N: 80, SelfMinAcc: 0.8, RelabelTol: 0.25, SparseTopK: 16},
-		{Name: "GWL", New: mk("GWL"), N: 60, SelfMinAcc: 0.7, RelabelTol: 0.25},
-		{Name: "S-GWL", New: mk("S-GWL"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25},
-		{Name: "CONE", New: mk("CONE"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25},
-		{Name: "GRASP", New: mk("GRASP"), N: 80, SelfMinAcc: 0.85},
+		{Name: "IsoRank", New: mk("IsoRank"), N: 80, SelfMinAcc: 0.9, Partitioned: 4},
+		{Name: "GRAAL", New: mk("GRAAL"), N: 80, SelfMinAcc: 0.85, Partitioned: 4},
+		{Name: "NSD", New: mk("NSD"), N: 80, SelfMinAcc: 0.85, SparseTopK: 16, Partitioned: 4},
+		{Name: "LREA", New: mk("LREA"), N: 80, SelfMinAcc: 0.9, SparseTopK: 16, Partitioned: 4},
+		{Name: "REGAL", New: mk("REGAL"), N: 80, SelfMinAcc: 0.8, RelabelTol: 0.25, SparseTopK: 16, Partitioned: 4},
+		{Name: "GWL", New: mk("GWL"), N: 60, SelfMinAcc: 0.7, RelabelTol: 0.25, Partitioned: 4},
+		{Name: "S-GWL", New: mk("S-GWL"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25, Partitioned: 4},
+		{Name: "CONE", New: mk("CONE"), N: 60, SelfMinAcc: 0.8, RelabelTol: 0.25, Partitioned: 4},
+		{Name: "GRASP", New: mk("GRASP"), N: 80, SelfMinAcc: 0.85, Partitioned: 4},
 	}
 	if len(cases) != len(graphalign.Algorithms()) {
 		t.Fatalf("conformance covers %d algorithms, registry has %d", len(cases), len(graphalign.Algorithms()))
 	}
 	algotest.RunConformance(t, cases)
+}
+
+// TestPartitionOffIdentity is the partition off-switch guard: running every
+// aligner through the core runner with Partitions 0 (the zero value) or 1
+// must produce exactly the mapping of a plain monolithic alignment — the
+// sharding layer may not perturb the default path in any way. It lives here
+// rather than in algotest because it exercises core.RunInstanceMapped, and
+// algotest cannot import core without an import cycle.
+func TestPartitionOffIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aligns every algorithm three times")
+	}
+	for _, name := range graphalign.Algorithms() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			n := 80
+			switch name {
+			case "GWL", "S-GWL", "CONE":
+				n = 60
+			}
+			mk := func() algo.Aligner {
+				a, err := graphalign.NewAligner(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return a
+			}
+			p := algotest.Pair(t, n, 0.02, 31337)
+			want, err := algo.Align(mk(), p.Source, p.Target, assign.JonkerVolgenant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parts := range []int{0, 1} {
+				res, got := core.RunInstanceMapped(context.Background(), mk(), p,
+					assign.JonkerVolgenant, core.RunSpec{Partitions: parts})
+				if res.Err != nil {
+					t.Fatalf("Partitions=%d: %v", parts, res.Err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("Partitions=%d: mapping length %d vs %d", parts, len(got), len(want))
+				}
+				for u := range want {
+					if got[u] != want[u] {
+						t.Fatalf("Partitions=%d: mapping[%d]=%d differs from monolithic %d",
+							parts, u, got[u], want[u])
+					}
+				}
+			}
+		})
+	}
 }

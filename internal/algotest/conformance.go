@@ -11,6 +11,7 @@ import (
 	"graphalign/internal/graph"
 	"graphalign/internal/metrics"
 	"graphalign/internal/noise"
+	"graphalign/internal/partition"
 )
 
 // Conformance describes one aligner's entry in the cross-algorithm
@@ -39,6 +40,15 @@ type Conformance struct {
 	// (algo.FactorAligner / algo.EmbeddingAligner) must produce candidates
 	// identical to dense top-k selection over the materialized matrix.
 	SparseTopK int
+	// Partitioned, when positive, additionally runs the partition-align-
+	// stitch contracts at this shard count: partitioned self-alignment must
+	// recover structure near-perfectly (the boundary re-bid repairs what
+	// the induced subgraphs lose), and partitioned relabel invariance must
+	// hold at a loosened tolerance. The off switch (RunSpec.Partitions 0
+	// or 1 must be byte-identical to the monolithic path) is guarded by
+	// the root-level TestPartitionOffIdentity — it needs the core runner,
+	// which this package cannot import without a cycle.
+	Partitioned int
 }
 
 // RunConformance runs the three framework-level contracts every aligner
@@ -73,6 +83,91 @@ func RunConformance(t *testing.T, cases []Conformance) {
 				CheckSparseCandidateIdentity(t, c.New(), c.N, c.SparseTopK)
 			})
 		}
+		if c.Partitioned > 0 {
+			t.Run(c.Name+"/partitioned_self_alignment", func(t *testing.T) {
+				t.Parallel()
+				CheckPartitionedSelfAlignment(t, c.New, c.N, c.Partitioned)
+			})
+			t.Run(c.Name+"/partitioned_relabel_invariance", func(t *testing.T) {
+				t.Parallel()
+				tol := c.RelabelTol
+				if tol == 0 {
+					tol = 0.15
+				}
+				// Relabeling can flip chunk boundaries between structurally
+				// tied nodes, which moves whole rows to different shards, so
+				// the sharded path gets extra slack over the monolithic
+				// tolerance (IsoRank measures a 0.26 swing at n=80, K=4).
+				CheckPartitionedRelabelInvariance(t, c.New, c.N, c.Partitioned, tol+0.15)
+			})
+		}
+	}
+}
+
+// partitionedSelfMinAcc is the quality bar for partitioned self-alignment
+// at conformance sizes. The co-partition of identical graphs is identical
+// chunk pairs, and the full-boundary auction re-bid repairs the ties that
+// near-empty low-degree shards leave behind, so every built-in aligner
+// measures >= 0.97 here. 0.9 leaves margin for float variation across
+// platforms while still catching a broken co-partition, stitch, or
+// refinement pass outright.
+const partitionedSelfMinAcc = 0.9
+
+// CheckPartitionedSelfAlignment asserts the sharded path recovers an
+// identity-dominant mapping when aligning a graph with itself: the
+// co-partition of identical graphs is identical chunk pairs, so every shard
+// aligns two copies of the same subgraph.
+func CheckPartitionedSelfAlignment(t *testing.T, mk func() algo.Aligner, n, k int) {
+	t.Helper()
+	base := Pair(t, n, 0, 4242).Source
+	identity := make([]int, base.N())
+	for i := range identity {
+		identity[i] = i
+	}
+	mapping, _, err := partition.Align(context.Background(),
+		func() (algo.Aligner, error) { return mk(), nil },
+		base, base, assign.JonkerVolgenant, partition.Options{K: k})
+	if err != nil {
+		t.Fatalf("partitioned self-alignment failed: %v", err)
+	}
+	if acc := metrics.Accuracy(mapping, identity); acc < partitionedSelfMinAcc {
+		t.Errorf("partitioned self-alignment accuracy %.3f < %.3f", acc, partitionedSelfMinAcc)
+	}
+}
+
+// CheckPartitionedRelabelInvariance is CheckRelabelInvariance through the
+// sharded path: node signatures are label-invariant, so relabeling the
+// target must not move accuracy by more than tol (loosened relative to the
+// monolithic tolerance — chunk boundaries can flip between structurally
+// tied nodes).
+func CheckPartitionedRelabelInvariance(t *testing.T, mk func() algo.Aligner, n, k int, tol float64) {
+	t.Helper()
+	p := Pair(t, n, 0.02, 31337)
+	run := func(q noise.Pair) float64 {
+		mapping, _, err := partition.Align(context.Background(),
+			func() (algo.Aligner, error) { return mk(), nil },
+			q.Source, q.Target, assign.JonkerVolgenant, partition.Options{K: k})
+		if err != nil {
+			t.Fatalf("partitioned alignment failed: %v", err)
+		}
+		return metrics.Accuracy(mapping, q.TrueMap)
+	}
+	accBase := run(p)
+
+	rng := rand.New(rand.NewSource(271828))
+	perm := graph.RandomPermutation(p.Target.N(), rng)
+	relabeled, err := graph.Permute(p.Target, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed := make([]int, len(p.TrueMap))
+	for u, v := range p.TrueMap {
+		composed[u] = perm[v]
+	}
+	accRelabel := run(noise.Pair{Source: p.Source, Target: relabeled, TrueMap: composed})
+
+	if d := accBase - accRelabel; d > tol || -d > tol {
+		t.Errorf("partitioned accuracy moved %.3f -> %.3f under relabeling (tol %.2f)", accBase, accRelabel, tol)
 	}
 }
 

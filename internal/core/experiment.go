@@ -111,6 +111,15 @@ type Options struct {
 	// assignment quality for large speedups at scale (see DESIGN.md §11).
 	// The knob behind alignbench's -assign-topk flag.
 	AssignTopK int
+	// Partitions, when >= 2, routes every run through the partition-align-
+	// stitch sharding layer: the instance's graphs are co-partitioned into
+	// that many matched cluster pairs, each pair is aligned independently
+	// (with a fresh aligner per shard) and the shard mappings are stitched
+	// with an auction-based boundary-refinement pass. 0 (the default) and 1
+	// are off and byte-identical to the monolithic path; sharding trades a
+	// bounded amount of accuracy for memory and scale (see DESIGN.md §15).
+	// The knob behind alignbench's -partitions flag.
+	Partitions int
 
 	// expID is the running experiment's id, set by RunExperiment so that
 	// checkpoint records are keyed per experiment. Experiments invoked
@@ -148,7 +157,7 @@ func (o *Options) obsv() *obsState {
 
 // runSpec assembles the per-run configuration from the experiment options.
 func (o *Options) runSpec() RunSpec {
-	return RunSpec{Tracer: o.Tracer, Budget: o.RunTimeout, AssignTopK: o.AssignTopK, Workers: o.Workers}
+	return RunSpec{Tracer: o.Tracer, Budget: o.RunTimeout, AssignTopK: o.AssignTopK, Workers: o.Workers, Partitions: o.Partitions}
 }
 
 // ctx returns the run context, defaulting to the never-cancelled background
@@ -444,7 +453,22 @@ func runInstances(opts Options, cell, label string, build func(i int) (algo.Alig
 			runs[i] = runInstanceProfiled(ctx, a, pairs[i], method, opts.runSpec())
 		default:
 			algo.ApplyCache(a, opts.Cache)
-			runs[i] = RunInstanceSpec(ctx, a, pairs[i], method, opts.runSpec())
+			spec := opts.runSpec()
+			if opts.Partitions >= 2 {
+				// Partitioned runs align shards concurrently, so each shard
+				// needs its own aligner instance (sharing one would race on
+				// internal state). The factory inherits the run's cache —
+				// cached artifacts are keyed per graph, so shards only share
+				// what is safe to share.
+				spec.NewAligner = func() (algo.Aligner, error) {
+					sa, err := build(i)
+					if err == nil {
+						algo.ApplyCache(sa, opts.Cache)
+					}
+					return sa, err
+				}
+			}
+			runs[i] = RunInstanceSpec(ctx, a, pairs[i], method, spec)
 		}
 		// A run cut short by grid-wide cancellation (as opposed to its own
 		// budget) is incomplete, not failed: leave it out of the journal so a

@@ -21,6 +21,7 @@ import (
 	"graphalign/internal/metrics"
 	"graphalign/internal/noise"
 	"graphalign/internal/obsv"
+	"graphalign/internal/partition"
 )
 
 // Factory instantiates an alignment algorithm by its canonical paper name.
@@ -88,6 +89,20 @@ type RunSpec struct {
 	// (candidate generation and auction bidding rounds); 0 means one per
 	// CPU. Results are identical for any value.
 	Workers int
+	// Partitions, when >= 2, routes the run through the partition-align-
+	// stitch layer (internal/partition): both graphs are co-partitioned
+	// into that many matched cluster pairs by structural-signature
+	// chunking, every shard pair is aligned independently on the parallel
+	// pool, and the shard mappings are stitched with an auction-based
+	// boundary-refinement pass. 0 and 1 are off and byte-identical to the
+	// monolithic path. Composes with AssignTopK (each shard's matching then
+	// runs the sparse pipeline). See DESIGN.md §15.
+	Partitions int
+	// NewAligner builds a fresh aligner per shard for partitioned runs, so
+	// shards never share mutable algorithm state across goroutines. When
+	// nil, partitioned runs reuse the run's single aligner and the shards
+	// are aligned sequentially instead of in parallel.
+	NewAligner func() (algo.Aligner, error)
 }
 
 // RunInstanceCtx is the fault-tolerant run entry point: the similarity stage
@@ -141,6 +156,10 @@ func RunInstanceMapped(ctx context.Context, a algo.Aligner, pair noise.Pair, met
 			res = endRunErr(run, reg, res)
 		}
 	}()
+
+	if spec.Partitions >= 2 {
+		return runInstancePartitioned(ctx, a, pair, method, spec, run, reg)
+	}
 
 	// Similarity stage. With the sparse pipeline on and an aligner that can
 	// expose embeddings or explicit low-rank factors, the dense matrix is
@@ -219,6 +238,46 @@ func RunInstanceMapped(ctx context.Context, a algo.Aligner, pair noise.Pair, met
 	sp.End()
 
 	sp = run.Phase("metrics")
+	res.Scores = metrics.All(pair.Source, pair.Target, mapping, pair.TrueMap)
+	sp.End()
+	run.End()
+	return res, mapping
+}
+
+// runInstancePartitioned is the partition-align-stitch branch of
+// RunInstanceMapped: the shard fan-out replaces the monolithic
+// similarity/assign stages, and the partition layer's co-partition + shard
+// wall time is reported as SimilarityTime with stitch + refinement as
+// AssignTime, preserving the result shape the drivers average. The caller's
+// deferred recover still guards this path, and errors flow through the same
+// timeout/panic classification as monolithic runs.
+func runInstancePartitioned(ctx context.Context, a algo.Aligner, pair noise.Pair, method assign.Method, spec RunSpec, run *obsv.Span, reg *obsv.Registry) (RunResult, []int) {
+	res := RunResult{Algorithm: a.Name(), Assign: method}
+	run.Set("partitions", spec.Partitions)
+	mk := spec.NewAligner
+	workers := spec.Workers
+	if mk == nil {
+		// No factory: the run's single aligner is the only instance
+		// available, so the shards must run sequentially — aligners are not
+		// required to be safe for concurrent Similarity calls.
+		mk = func() (algo.Aligner, error) { return a, nil }
+		workers = 1
+	}
+	mapping, pstats, err := partition.Align(ctx, mk, pair.Source, pair.Target, method, partition.Options{
+		K:        spec.Partitions,
+		Workers:  workers,
+		TopK:     spec.AssignTopK,
+		Tracer:   spec.Tracer,
+		Span:     run,
+		Registry: reg,
+	})
+	res.SimilarityTime = pstats.AlignTime
+	res.AssignTime = pstats.StitchTime
+	if err != nil {
+		res.Err = classifyRunErr(err, spec.Budget, reg)
+		return endRunErr(run, reg, res), nil
+	}
+	sp := run.Phase("metrics")
 	res.Scores = metrics.All(pair.Source, pair.Target, mapping, pair.TrueMap)
 	sp.End()
 	run.End()

@@ -1,0 +1,190 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"graphalign/internal/gen"
+	"graphalign/internal/graph"
+)
+
+func TestChunkSizes(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {7, 7}, {100, 1}, {5, 4}, {1, 1}} {
+		sizes := chunkSizes(tc.n, tc.k)
+		if len(sizes) != tc.k {
+			t.Fatalf("n=%d k=%d: %d chunks", tc.n, tc.k, len(sizes))
+		}
+		sum, min, max := 0, tc.n, 0
+		for _, s := range sizes {
+			sum += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if sum != tc.n {
+			t.Errorf("n=%d k=%d: sizes sum to %d", tc.n, tc.k, sum)
+		}
+		if max-min > 1 {
+			t.Errorf("n=%d k=%d: sizes not balanced: %v", tc.n, tc.k, sizes)
+		}
+	}
+}
+
+func TestFitSizes(t *testing.T) {
+	// The counterexample that motivated capacity repair: floor-cut source
+	// sizes (1,1,2,1,2) against capacities (1,2,1,2,2) violate chunk 2.
+	ideal := []int{1, 1, 2, 1, 2}
+	caps := []int{1, 2, 1, 2, 2}
+	sizes := fitSizes(ideal, caps, 7)
+	sum := 0
+	for i, s := range sizes {
+		if s > caps[i] {
+			t.Errorf("chunk %d: size %d > cap %d", i, s, caps[i])
+		}
+		sum += s
+	}
+	if sum != 7 {
+		t.Errorf("sizes sum to %d, want 7", sum)
+	}
+}
+
+// checkCoPartition asserts the structural invariants every co-partition must
+// satisfy: each side is an exact partition of its node set, members are
+// sorted ascending, and every source cluster fits inside its paired target
+// cluster (the |S_i| <= |T_i| invariant the aligners require).
+func checkCoPartition(t *testing.T, cp *CoPartition, n1, n2 int) {
+	t.Helper()
+	if len(cp.SrcClusters) != cp.K || len(cp.DstClusters) != cp.K {
+		t.Fatalf("K=%d but %d src / %d dst clusters", cp.K, len(cp.SrcClusters), len(cp.DstClusters))
+	}
+	for side, clusters := range map[string][][]int{"src": cp.SrcClusters, "dst": cp.DstClusters} {
+		n := n1
+		if side == "dst" {
+			n = n2
+		}
+		seen := make([]bool, n)
+		total := 0
+		for ci, members := range clusters {
+			for j, u := range members {
+				if u < 0 || u >= n {
+					t.Fatalf("%s cluster %d: node %d out of range [0,%d)", side, ci, u, n)
+				}
+				if seen[u] {
+					t.Fatalf("%s cluster %d: node %d appears twice", side, ci, u)
+				}
+				if j > 0 && members[j-1] >= u {
+					t.Fatalf("%s cluster %d: members not strictly ascending", side, ci)
+				}
+				seen[u] = true
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("%s clusters cover %d of %d nodes", side, total, n)
+		}
+	}
+	for i := range cp.SrcClusters {
+		if len(cp.SrcClusters[i]) > len(cp.DstClusters[i]) {
+			t.Errorf("shard %d: |S|=%d > |T|=%d", i, len(cp.SrcClusters[i]), len(cp.DstClusters[i]))
+		}
+	}
+}
+
+func TestGraphsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g1 := gen.PowerlawCluster(137, 3, 0.3, rng)
+	g2 := gen.PowerlawCluster(200, 3, 0.3, rng)
+	for _, k := range []int{1, 2, 4, 7, 137, 500} {
+		cp := Graphs(g1, g2, k)
+		want := k
+		if want > 137 {
+			want = 137
+		}
+		if want < 1 {
+			want = 1
+		}
+		if cp.K != want {
+			t.Errorf("k=%d: effective K=%d, want %d", k, cp.K, want)
+		}
+		checkCoPartition(t, cp, g1.N(), g2.N())
+	}
+}
+
+// TestGraphsDeterministic pins the co-partitioner's determinism contract:
+// the same inputs produce the same partition, every time. Run under -race
+// this also exercises the disjoint-slot discipline of the helpers.
+func TestGraphsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g1 := gen.PowerlawCluster(150, 3, 0.3, rng)
+	g2 := gen.PowerlawCluster(180, 3, 0.3, rng)
+	first := Graphs(g1, g2, 6)
+	for i := 0; i < 3; i++ {
+		if got := Graphs(g1, g2, 6); !reflect.DeepEqual(first, got) {
+			t.Fatalf("run %d: co-partition differs from first run", i)
+		}
+	}
+}
+
+// TestGraphsRelabelRecovery is the co-partitioner's core property: when the
+// target is a relabeling of the source, signature chunking must recover the
+// cluster correspondence — the matched target cluster is (up to ties between
+// structurally identical nodes at chunk boundaries) the image of the source
+// cluster under the relabeling. Checked across several generator seeds.
+func TestGraphsRelabelRecovery(t *testing.T) {
+	const n, k = 300, 8
+	for _, seed := range []int64{1, 2, 3, 20260808} {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.PowerlawCluster(n, 3, 0.3, rng)
+		perm := graph.RandomPermutation(n, rng)
+		h, err := graph.Permute(g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := Graphs(g, h, k)
+		checkCoPartition(t, cp, n, n)
+
+		// Signature orders of g and h are identical up to ties, so the
+		// cluster matching must resolve to the identity (the 1e-9 diagonal
+		// preference pins it even when features tie exactly).
+		for i, j := range cp.Match {
+			if i != j {
+				t.Errorf("seed %d: Match[%d]=%d, want identity", seed, i, j)
+			}
+		}
+
+		matched, total := 0, 0
+		for i := range cp.SrcClusters {
+			in := make(map[int]bool, len(cp.DstClusters[i]))
+			for _, v := range cp.DstClusters[i] {
+				in[v] = true
+			}
+			for _, u := range cp.SrcClusters[i] {
+				total++
+				if in[perm[u]] {
+					matched++
+				}
+			}
+		}
+		if frac := float64(matched) / float64(total); frac < 0.8 {
+			t.Errorf("seed %d: only %.3f of nodes land in the matched cluster (want >= 0.8)", seed, frac)
+		}
+	}
+}
+
+// TestGraphsSelfIdentity: co-partitioning a graph with itself must pair each
+// chunk with exactly itself — identical signature orders, identical cuts,
+// diagonal preference in the matcher.
+func TestGraphsSelfIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := gen.PowerlawCluster(240, 3, 0.3, rng)
+	cp := Graphs(g, g, 4)
+	for i := range cp.SrcClusters {
+		if !reflect.DeepEqual(cp.SrcClusters[i], cp.DstClusters[i]) {
+			t.Fatalf("shard %d: src and dst clusters differ on self co-partition", i)
+		}
+	}
+}

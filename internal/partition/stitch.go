@@ -1,0 +1,67 @@
+package partition
+
+// ShardMapping is one shard pair's alignment expressed in original node-id
+// space: Src and Dst list the shard's source and target members (Local
+// indexes into them), and Local[i] is the Dst index matched to Src[i], or
+// -1 for unmatched.
+type ShardMapping struct {
+	Src   []int
+	Dst   []int
+	Local []int
+}
+
+// Stitch merges shard mappings into one global mapping of length n1 over
+// the target space [0, n2): mapping[u] = v means source node u is aligned
+// to target node v, -1 means unmatched.
+//
+// Stitch is deliberately defensive — it is the trust boundary between the
+// per-shard aligners (which may misbehave, panic-recover into partial
+// state, or be fuzzed directly) and the global mapping every metric and
+// client consumes. Whatever the input, the output is a valid partial
+// injection:
+//
+//   - out-of-range source ids, target ids and Local indexes are dropped;
+//   - a source node claimed by several shards keeps its first claim
+//     (shard-major, row-minor order);
+//   - a target claimed twice is granted to the first claimant only, so no
+//     duplicate target assignment can ever be emitted;
+//   - empty shards, empty Local slices and Local slices shorter or longer
+//     than Src are tolerated (extra entries are ignored).
+//
+// The iteration order is fixed, so Stitch is a pure function of its inputs.
+func Stitch(n1, n2 int, shards []ShardMapping) []int {
+	if n1 < 0 {
+		n1 = 0
+	}
+	mapping := make([]int, n1)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	if n2 <= 0 {
+		return mapping
+	}
+	used := make([]bool, n2)
+	for _, s := range shards {
+		limit := len(s.Src)
+		if len(s.Local) < limit {
+			limit = len(s.Local)
+		}
+		for li := 0; li < limit; li++ {
+			u := s.Src[li]
+			if u < 0 || u >= n1 || mapping[u] != -1 {
+				continue
+			}
+			lv := s.Local[li]
+			if lv < 0 || lv >= len(s.Dst) {
+				continue
+			}
+			v := s.Dst[lv]
+			if v < 0 || v >= n2 || used[v] {
+				continue
+			}
+			mapping[u] = v
+			used[v] = true
+		}
+	}
+	return mapping
+}

@@ -1,0 +1,180 @@
+package partition
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestStitchBasic(t *testing.T) {
+	shards := []ShardMapping{
+		{Src: []int{0, 2}, Dst: []int{1, 3}, Local: []int{0, 1}},
+		{Src: []int{1, 3}, Dst: []int{0, 2}, Local: []int{1, 0}},
+	}
+	got := Stitch(4, 4, shards)
+	want := []int{1, 2, 3, 0}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("mapping[%d]=%d, want %d (full: %v)", u, got[u], want[u], got)
+		}
+	}
+}
+
+func TestStitchDropsConflicts(t *testing.T) {
+	shards := []ShardMapping{
+		// First claim on src 0 and target 5 wins.
+		{Src: []int{0}, Dst: []int{5}, Local: []int{0}},
+		// Duplicate src claim dropped; the second row still lands.
+		{Src: []int{0, 1}, Dst: []int{5, 6}, Local: []int{0, 1}},
+		// Duplicate target claim dropped.
+		{Src: []int{2}, Dst: []int{5}, Local: []int{0}},
+		// Out-of-range src, local index and target, unmatched row.
+		{Src: []int{99, 2, 3, 4}, Dst: []int{7, 100}, Local: []int{0, 5, 1, -1}},
+	}
+	got := Stitch(5, 10, shards)
+	want := []int{5, 6, -1, -1, -1}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("mapping[%d]=%d, want %d (full: %v)", u, got[u], want[u], got)
+		}
+	}
+}
+
+func TestStitchDegenerate(t *testing.T) {
+	if got := Stitch(0, 5, nil); len(got) != 0 {
+		t.Errorf("n1=0: len %d", len(got))
+	}
+	if got := Stitch(-3, 5, nil); len(got) != 0 {
+		t.Errorf("n1<0: len %d", len(got))
+	}
+	got := Stitch(3, 0, []ShardMapping{{Src: []int{0}, Dst: []int{0}, Local: []int{0}}})
+	for u, v := range got {
+		if v != -1 {
+			t.Errorf("n2=0: mapping[%d]=%d, want -1", u, v)
+		}
+	}
+}
+
+// checkValidPartialInjection is the Stitch postcondition: every entry is -1
+// or a target id in [0, n2), and no target appears twice.
+func checkValidPartialInjection(t *testing.T, mapping []int, n1, n2 int) {
+	t.Helper()
+	if len(mapping) != n1 {
+		t.Fatalf("mapping length %d, want %d", len(mapping), n1)
+	}
+	used := make(map[int]int, len(mapping))
+	for u, v := range mapping {
+		if v == -1 {
+			continue
+		}
+		if v < 0 || v >= n2 {
+			t.Fatalf("mapping[%d]=%d out of range [0,%d)", u, v, n2)
+		}
+		if prev, dup := used[v]; dup {
+			t.Fatalf("target %d assigned to both %d and %d", v, prev, u)
+		}
+		used[v] = u
+	}
+}
+
+// FuzzStitch feeds arbitrary shard mappings — overlapping, partial, empty,
+// out-of-range, mismatched lengths — through Stitch and asserts the
+// postcondition: the output is always a valid partial injection into
+// [0, n2), whatever the shards claim.
+func FuzzStitch(f *testing.F) {
+	f.Add(4, 4, []byte{})
+	f.Add(4, 4, []byte{2, 0, 2, 1, 3, 0, 1})
+	f.Add(5, 10, []byte{1, 0, 5, 0, 1, 0, 5, 0, 99, 2, 7, 100, 0, 5})
+	f.Add(3, 0, []byte{1, 0, 0, 0})
+	f.Add(0, 3, []byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, n1, n2 int, raw []byte) {
+		if n1 > 1<<12 || n2 > 1<<12 {
+			return // bound allocation, not behavior
+		}
+		shards := decodeShards(raw)
+		mapping := Stitch(n1, n2, shards)
+		eff := n1
+		if eff < 0 {
+			eff = 0
+		}
+		checkValidPartialInjection(t, mapping, eff, n2)
+	})
+}
+
+// decodeShards deterministically unpacks fuzz bytes into shard mappings,
+// deliberately allowing every malformed shape Stitch must tolerate: signed
+// ids (including negatives), Local shorter or longer than Src, empty slices.
+func decodeShards(raw []byte) []ShardMapping {
+	next := func() (int, bool) {
+		if len(raw) == 0 {
+			return 0, false
+		}
+		b := raw[0]
+		raw = raw[1:]
+		// Spread single bytes over a signed range wide enough to produce
+		// in-range, boundary and out-of-range ids against n <= 4096.
+		return int(int8(b)) * 37, true
+	}
+	nextLen := func() (int, bool) {
+		v, ok := next()
+		if !ok {
+			return 0, false
+		}
+		if v < 0 {
+			v = -v
+		}
+		return v % 9, true
+	}
+	var shards []ShardMapping
+	for {
+		ns, ok := nextLen()
+		if !ok {
+			break
+		}
+		nd, _ := nextLen()
+		nl, _ := nextLen()
+		var s ShardMapping
+		for i := 0; i < ns; i++ {
+			v, _ := next()
+			s.Src = append(s.Src, v)
+		}
+		for i := 0; i < nd; i++ {
+			v, _ := next()
+			s.Dst = append(s.Dst, v)
+		}
+		for i := 0; i < nl; i++ {
+			v, _ := next()
+			s.Local = append(s.Local, v%11)
+		}
+		shards = append(shards, s)
+		if len(shards) > 64 {
+			break
+		}
+	}
+	return shards
+}
+
+// TestStitchFuzzRegressions replays the decoder on structured seeds so the
+// fuzz harness itself is covered by plain `go test` (no -fuzz needed).
+func TestStitchFuzzRegressions(t *testing.T) {
+	seeds := [][]byte{
+		{},
+		{2, 0, 2, 1, 3, 0, 1},
+		{255, 255, 255, 255, 255, 255, 255, 255},
+		{1, 1, 1, 0, 0, 0, 1, 1, 1},
+	}
+	var wide []byte
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], 0xdeadbeefcafef00d)
+	for i := 0; i < 32; i++ {
+		wide = append(wide, buf[i%8])
+	}
+	seeds = append(seeds, wide)
+	for _, raw := range seeds {
+		for _, n1 := range []int{0, 1, 7, 128} {
+			for _, n2 := range []int{0, 1, 7, 128} {
+				mapping := Stitch(n1, n2, decodeShards(raw))
+				checkValidPartialInjection(t, mapping, n1, n2)
+			}
+		}
+	}
+}

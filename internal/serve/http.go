@@ -41,6 +41,9 @@ type SubmitRequest struct {
 	TopK      int    `json:"topk,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	WorkersMax int   `json:"workers,omitempty"`
+	// Partitions >= 2 runs the job through the partition-align-stitch
+	// sharding layer; 0 (or 1) is the monolithic path.
+	Partitions int `json:"partitions,omitempty"`
 	Src       string `json:"src"`
 	Dst       string `json:"dst"`
 }
@@ -140,8 +143,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, opts HTTPO
 		writeError(w, http.StatusBadRequest, "", "%v", err)
 		return
 	}
-	if req.TopK < 0 || req.TimeoutMS < 0 {
-		writeError(w, http.StatusBadRequest, "", "topk and timeout_ms must be non-negative")
+	if req.TopK < 0 || req.TimeoutMS < 0 || req.Partitions < 0 {
+		writeError(w, http.StatusBadRequest, "", "topk, timeout_ms and partitions must be non-negative")
 		return
 	}
 	src, srcLabels, err := parseGraphLimited("src", req.Src, opts)
@@ -156,11 +159,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, opts HTTPO
 	}
 
 	job, err := s.Submit(src, dst, srcLabels, dstLabels, Spec{
-		Algo:    req.Algo,
-		Method:  method,
-		TopK:    req.TopK,
-		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
-		Workers: req.WorkersMax,
+		Algo:       req.Algo,
+		Method:     method,
+		TopK:       req.TopK,
+		Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+		Workers:    req.WorkersMax,
+		Partitions: req.Partitions,
 	})
 	switch {
 	case errors.Is(err, ErrQueueFull):

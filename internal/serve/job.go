@@ -54,6 +54,13 @@ type Spec struct {
 	// Workers bounds the job's intra-run parallel fan-out; zero means the
 	// server default (results are identical for any value).
 	Workers int
+	// Partitions, when >= 2, routes the job through the partition-align-
+	// stitch sharding layer (core.RunSpec.Partitions): the graphs are
+	// co-partitioned into that many matched cluster pairs, each pair aligned
+	// by a fresh aligner instance, and the shard mappings stitched with
+	// boundary refinement. Per-shard progress (shard_start / shard_done)
+	// streams through the job's event log. 0 = off.
+	Partitions int
 }
 
 // Job is one alignment request moving through the daemon. All mutable state
@@ -185,6 +192,7 @@ type JobView struct {
 	Algo      string  `json:"algo"`
 	Method    string  `json:"method,omitempty"`
 	TopK      int     `json:"topk,omitempty"`
+	Parts     int     `json:"partitions,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 	NSrc      int     `json:"n_src"`
 	MSrc      int     `json:"m_src"`
@@ -222,6 +230,7 @@ func (j *Job) View() JobView {
 		Algo:      j.Spec.Algo,
 		Method:    string(j.Spec.Method),
 		TopK:      j.Spec.TopK,
+		Parts:     j.Spec.Partitions,
 		TimeoutMS: j.Spec.Timeout.Milliseconds(),
 		NSrc:      j.src.N(), MSrc: j.src.M(),
 		NDst: j.dst.N(), MDst: j.dst.M(),

@@ -150,6 +150,17 @@ func New(opts Options) (*Server, error) {
 	if opts.CacheBudgetBytes > 0 {
 		s.cache = cache.New(opts.CacheBudgetBytes).SetRegistry(opts.Registry)
 	}
+	// Pre-register the outcome counters so /metrics exposes them at zero
+	// from the first scrape — rate() over a counter that appears only on its
+	// first increment misses the initial transition.
+	for _, name := range []string{
+		"serve_jobs_submitted_total", "serve_jobs_done_total",
+		"serve_jobs_failed_total", "serve_jobs_cancelled_total",
+		"serve_jobs_rejected_total", "serve_jobs_timeout_total",
+		"serve_jobs_panic_total", "serve_cancel_requests_total",
+	} {
+		s.reg.Counter(name)
+	}
 	s.wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go s.worker()
@@ -341,16 +352,30 @@ func (s *Server) runJob(j *Job) {
 		algo.ApplyCache(a, s.cache)
 	}
 
+	spec := core.RunSpec{
+		Tracer:     tr,
+		Budget:     j.Spec.Timeout,
+		AssignTopK: j.Spec.TopK,
+		Workers:    j.Spec.Workers,
+		Partitions: j.Spec.Partitions,
+	}
+	if j.Spec.Partitions >= 2 {
+		// Shards run concurrently, so each needs its own aligner instance;
+		// the factory inherits the multi-tenant cache (artifacts are keyed
+		// per graph, so sharing across shards is safe).
+		algoName := j.Spec.Algo
+		spec.NewAligner = func() (algo.Aligner, error) {
+			sa, err := s.opts.Factory(algoName)
+			if err == nil && s.cache != nil {
+				algo.ApplyCache(sa, s.cache)
+			}
+			return sa, err
+		}
+	}
 	start := time.Now()
 	res, mapping := core.RunInstanceMapped(ctx, a,
 		noise.Pair{Source: j.src, Target: j.dst},
-		method,
-		core.RunSpec{
-			Tracer:     tr,
-			Budget:     j.Spec.Timeout,
-			AssignTopK: j.Spec.TopK,
-			Workers:    j.Spec.Workers,
-		})
+		method, spec)
 	wall := time.Since(start)
 	s.observeJobTime(wall)
 	s.reg.Histogram("serve_job_seconds", obsv.DurationBuckets()).Observe(wall.Seconds())

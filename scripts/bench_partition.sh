@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Runs the large-instance partition-align-stitch benchmark and writes
+# BENCH_partition.json: a "_meta" header (commit, go version, GOMAXPROCS,
+# wall-clock date of the run is deliberately omitted so reruns diff clean)
+# followed by one entry per benchmarked configuration with instance size,
+# shard count, wall/similarity/assignment seconds, peak RSS (when the
+# kernel exposes it) and the quality scores alignrun reports.
+#
+# This is the evidence artifact for the n=100k acceptance criterion of the
+# partition layer: a graph that size cannot be aligned monolithically on
+# commodity memory (the dense similarity matrix alone is 80 GB), but
+# completes sharded.
+#
+# Usage: scripts/bench_partition.sh [output.json]
+# From the repo root. Tunables via env: N (nodes, default 100000),
+# PARTS (shards, default 32), TOPK (per-shard sparse top-k, default 16),
+# ALGO (default NSD), LEVEL (noise level, default 0.01), SEED (default 1).
+set -euo pipefail
+
+out="${1:-BENCH_partition.json}"
+N="${N:-100000}"
+PARTS="${PARTS:-32}"
+TOPK="${TOPK:-16}"
+ALGO="${ALGO:-NSD}"
+LEVEL="${LEVEL:-0.01}"
+SEED="${SEED:-1}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    commit="${commit}-dirty"
+fi
+gover="$(go env GOVERSION)"
+
+go build -o "$workdir/graphgen" ./cmd/graphgen
+go build -o "$workdir/alignrun" ./cmd/alignrun
+
+echo "generating PL n=$N (seed $SEED) + one-way noise $LEVEL ..." >&2
+"$workdir/graphgen" -model PL -n "$N" -seed "$SEED" -out "$workdir/base.edges"
+"$workdir/graphgen" -perturb "$workdir/base.edges" -noise one-way -level "$LEVEL" \
+    -seed "$((SEED + 6))" -out "$workdir/noisy.edges" -truth "$workdir/truth.txt"
+
+echo "aligning: $ALGO -partitions $PARTS -topk $TOPK ..." >&2
+start_ns="$(date +%s%N)"
+"$workdir/alignrun" -algo "$ALGO" -src "$workdir/base.edges" -dst "$workdir/noisy.edges" \
+    -truth "$workdir/truth.txt" -partitions "$PARTS" -topk "$TOPK" -q \
+    2> "$workdir/metrics.txt" &
+pid=$!
+# Sample peak RSS from /proc while the run is alive (no GNU time in the
+# image); 0 when the filesystem races us at exit.
+max_rss_kb=0
+while kill -0 "$pid" 2>/dev/null; do
+    rss="$(awk '/^VmRSS:/ {print $2}' "/proc/$pid/status" 2>/dev/null || echo 0)"
+    if [ -n "$rss" ] && [ "$rss" -gt "$max_rss_kb" ] 2>/dev/null; then
+        max_rss_kb="$rss"
+    fi
+    sleep 0.2
+done
+wait "$pid"
+end_ns="$(date +%s%N)"
+wall_s="$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN { printf "%.2f", (b - a) / 1e9 }')"
+
+cat "$workdir/metrics.txt" >&2
+
+# alignrun's stderr line: algorithm=NSD time=… sim_time=… assign_time=…
+# EC=… ICS=… S3=… MNC=… [accuracy=…]
+metrics_json="$(awk '
+/^algorithm=/ {
+    for (i = 1; i <= NF; i++) {
+        split($(i), kv, "=")
+        m[kv[1]] = kv[2]
+    }
+}
+END {
+    printf "\"ec\": %s, \"ics\": %s, \"s3\": %s, \"accuracy\": %s",
+        (m["EC"] == "" ? "null" : m["EC"]),
+        (m["ICS"] == "" ? "null" : m["ICS"]),
+        (m["S3"] == "" ? "null" : m["S3"]),
+        (m["accuracy"] == "" ? "null" : m["accuracy"])
+}
+' "$workdir/metrics.txt")"
+
+edges="$(wc -l < "$workdir/base.edges" | tr -d ' ')"
+
+cat > "$out" <<JSON
+{
+  "_meta": {"commit": "$commit", "go": "$gover", "gomaxprocs": $(nproc)},
+  "partition_align": {
+    "algo": "$ALGO",
+    "n": $N,
+    "edges": $edges,
+    "noise_level": $LEVEL,
+    "partitions": $PARTS,
+    "topk": $TOPK,
+    "wall_seconds": $wall_s,
+    "max_rss_kb": $max_rss_kb,
+    $metrics_json
+  }
+}
+JSON
+
+echo "wrote $out" >&2
