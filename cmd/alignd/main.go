@@ -20,9 +20,16 @@
 //	                            layer (DESIGN.md §15), streaming per-shard
 //	                            progress on the events endpoint
 //	GET    /v1/jobs             list tracked jobs
-//	GET    /v1/jobs/{id}        job status and, once done, the result
+//	GET    /v1/jobs/{id}        job status and, once done, the result;
+//	                            ?offset=&limit= pages large mappings
 //	GET    /v1/jobs/{id}/events JSONL progress stream (?follow=0: snapshot)
 //	DELETE /v1/jobs/{id}        cooperative cancel
+//	POST   /v1/sessions         create an incremental alignment session
+//	                            (cold-aligns synchronously; DESIGN.md §16)
+//	GET    /v1/sessions         list live sessions
+//	GET    /v1/sessions/{id}    session state, mapping paged as for jobs
+//	POST   /v1/sessions/{id}/edits apply edit batches and re-align warm
+//	DELETE /v1/sessions/{id}    drop the session
 //	GET    /healthz             liveness (503 while shutting down)
 //	GET    /metrics             Prometheus text exposition
 //
@@ -85,6 +92,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		traceOut    = fs.String("trace-out", "", "append JSONL trace events to this file")
 		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address")
 		drain       = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		maxSessions = fs.Int("max-sessions", 16, "live incremental sessions held in memory; full tables answer 429")
+		rtSample    = fs.Duration("runtime-sample", 15*time.Second, "runtime gauge sampling interval (heap, goroutines, GC; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +101,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	reg := obsv.NewRegistry()
 	tracer := obsv.New().SetRegistry(reg)
+	if *rtSample > 0 {
+		// The runtime gauges (graphalign_runtime_heap_bytes / _goroutines /
+		// _gc_cycles on /metrics) are what soak tests watch for leaks across
+		// hours of sustained traffic.
+		stopSampler := obsv.StartRuntimeSampler(tracer, *rtSample)
+		defer stopSampler()
+	}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -135,6 +151,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Tracer:           tracer,
 		Registry:         reg,
 		KeepJobs:         *keepJobs,
+		MaxSessions:      *maxSessions,
 	})
 	if err != nil {
 		return err

@@ -9,7 +9,15 @@
 //	alignload -url http://127.0.0.1:8080 [-jobs 200] [-concurrency 100]
 //	          [-algo NSD] [-method NN] [-topk 0] [-nodes 64] [-p 0.1]
 //	          [-pairs 8] [-seed 1] [-timeout 60s] [-out BENCH_serve.json]
-//	          [-no-verify]
+//	          [-no-verify] [-duration 0] [-sample 10s]
+//
+// With -duration > 0 the generator runs a sustained soak instead of a fixed
+// job count: jobs are submitted continuously until the duration elapses,
+// while a sampler scrapes the daemon's /metrics every -sample interval and
+// records heap bytes and goroutine counts (the daemon must run its runtime
+// sampler, which alignd does by default). The report then carries the
+// resource samples plus their maxima, so a soak that leaks memory or
+// goroutines is visible directly in BENCH_serve.json.
 //
 // The generator builds -pairs distinct Erdős–Rényi graph pairs and cycles
 // jobs across them (repeat pairs exercise the daemon's shared artifact
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -34,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphalign"
@@ -79,6 +89,12 @@ type report struct {
 	Concurrency int     `json:"concurrency"`
 	Seed        int64   `json:"seed"`
 
+	// Soak mode only (-duration > 0).
+	SoakSeconds   float64          `json:"soak_seconds,omitempty"`
+	Samples       []resourceSample `json:"resource_samples,omitempty"`
+	HeapMaxBytes  float64          `json:"heap_max_bytes,omitempty"`
+	GoroutinesMax float64          `json:"goroutines_max,omitempty"`
+
 	Accepted   int `json:"accepted"`
 	Done       int `json:"done"`
 	Failed     int `json:"failed"`
@@ -113,6 +129,8 @@ func run(args []string, stdout io.Writer) error {
 		timeout     = fs.Duration("timeout", 60*time.Second, "client-side budget per job (submit retries + completion)")
 		out         = fs.String("out", "", "write the JSON report here (default stdout only)")
 		noVerify    = fs.Bool("no-verify", false, "skip byte-identity verification against the library")
+		duration    = fs.Duration("duration", 0, "sustained-soak length; 0 = fixed -jobs count mode")
+		sample      = fs.Duration("sample", 10*time.Second, "resource sampling interval during -duration soaks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,27 +149,83 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
-	outcomes := make([]jobOutcome, *jobs)
+	var outcomes []jobOutcome
+	var samples []resourceSample
 	var wg sync.WaitGroup
-	next := make(chan int)
 	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
+	if *duration > 0 {
+		// Sustained soak: keep the concurrency level saturated until the
+		// deadline, sampling the daemon's resource gauges along the way.
+		deadline := start.Add(*duration)
+		var mu sync.Mutex
+		var counter int64
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					i := int(atomic.AddInt64(&counter, 1) - 1)
+					o := driveJob(client, base, texts[i%len(texts)], i%len(texts), *algo, *method, *topk, *timeout, !*noVerify)
+					mu.Lock()
+					outcomes = append(outcomes, o)
+					mu.Unlock()
+				}
+			}()
+		}
+		stopSampling := make(chan struct{})
+		var samplerWG sync.WaitGroup
+		samplerWG.Add(1)
 		go func() {
-			defer wg.Done()
-			for i := range next {
-				outcomes[i] = driveJob(client, base, texts[i%len(texts)], i%len(texts), *algo, *method, *topk, *timeout, !*noVerify)
+			defer samplerWG.Done()
+			ticker := time.NewTicker(*sample)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if s, ok := scrapeResources(client, base, time.Since(start)); ok {
+						samples = append(samples, s)
+					}
+				case <-stopSampling:
+					return
+				}
 			}
 		}()
+		wg.Wait()
+		close(stopSampling)
+		samplerWG.Wait()
+		// One final scrape so even short soaks record an end-state sample.
+		if s, ok := scrapeResources(client, base, time.Since(start)); ok {
+			samples = append(samples, s)
+		}
+	} else {
+		outcomes = make([]jobOutcome, *jobs)
+		next := make(chan int)
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					outcomes[i] = driveJob(client, base, texts[i%len(texts)], i%len(texts), *algo, *method, *topk, *timeout, !*noVerify)
+				}
+			}()
+		}
+		for i := 0; i < *jobs; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	for i := 0; i < *jobs; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 	wall := time.Since(start)
 
 	rep := summarize(outcomes, wall)
+	if *duration > 0 {
+		rep.SoakSeconds = duration.Seconds()
+		rep.Samples = samples
+		for _, s := range samples {
+			rep.HeapMaxBytes = math.Max(rep.HeapMaxBytes, s.HeapBytes)
+			rep.GoroutinesMax = math.Max(rep.GoroutinesMax, s.Goroutines)
+		}
+	}
 	rep.URL, rep.Algo, rep.Method, rep.TopK = base, *algo, *method, *topk
 	rep.Nodes, rep.EdgeProb, rep.Pairs = *nodes, *edgeP, *pairs
 	rep.Jobs, rep.Concurrency, rep.Seed = *jobs, *concurrency, *seed
@@ -328,6 +402,50 @@ func driveJob(client *http.Client, base string, pt pairText, pair int, algoName,
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// resourceSample is one /metrics scrape of the daemon's runtime gauges.
+type resourceSample struct {
+	AtSeconds  float64 `json:"at_seconds"`
+	HeapBytes  float64 `json:"heap_bytes"`
+	Goroutines float64 `json:"goroutines"`
+}
+
+// scrapeResources reads graphalign_runtime_heap_bytes and
+// graphalign_runtime_goroutines off the daemon's Prometheus exposition. A
+// daemon running without its runtime sampler simply yields no samples
+// (ok=false), never an error — resource visibility is best-effort.
+func scrapeResources(client *http.Client, base string, at time.Duration) (resourceSample, bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return resourceSample{}, false
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return resourceSample{}, false
+	}
+	s := resourceSample{AtSeconds: at.Seconds(), HeapBytes: -1, Goroutines: -1}
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "graphalign_runtime_heap_bytes":
+			s.HeapBytes = v
+		case "graphalign_runtime_goroutines":
+			s.Goroutines = v
+		}
+	}
+	if s.HeapBytes < 0 || s.Goroutines < 0 {
+		return resourceSample{}, false
+	}
+	return s, true
 }
 
 func equalInts(a, b []int) bool {

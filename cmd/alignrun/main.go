@@ -21,6 +21,16 @@
 // per-shard assignment sparse. This is what makes n=100k alignments fit in
 // commodity memory (see DESIGN.md §15); 0 = off, byte-identical to the
 // monolithic path.
+//
+// -edits stream.edits replays an evolving-graph workload (DESIGN.md §16):
+// the pair is cold-aligned once, then each blank-line-separated batch of
+// "add u v" / "del u v" lines is applied to the target graph and
+// re-aligned incrementally (warm-started auction, delta-tolerant candidate
+// reuse). Per-batch statistics go to stderr; the printed mapping and
+// metrics are those of the final alignment against the final edited
+// target. -incr-out writes the incr_* metrics registry as JSON afterwards.
+// Requires an embedding- or factor-producing algorithm; the assignment
+// method is fixed to the warm-startable sparse auction.
 package main
 
 import (
@@ -33,6 +43,8 @@ import (
 	"time"
 
 	"graphalign"
+	"graphalign/internal/graph"
+	"graphalign/internal/incremental"
 	"graphalign/internal/obsv"
 	"graphalign/internal/partition"
 )
@@ -47,8 +59,13 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress the mapping output, print only metrics")
 		traceOut = flag.String("trace-out", "", "write span events as JSONL to this file (alignstat summary input)")
 		parts    = flag.Int("partitions", 0, "partition-align-stitch sharding: co-partition into this many matched cluster pairs, align shards independently and stitch with boundary refinement; 0 = off (monolithic)")
-		topK     = flag.Int("topk", 0, "per-shard sparse assignment top-k (only with -partitions; 0 = dense)")
-		workers  = flag.Int("workers", 0, "concurrent shards (only with -partitions; 0 = one per CPU)")
+		topK     = flag.Int("topk", 0, "per-shard sparse assignment top-k (with -partitions: 0 = dense; with -edits: candidate list length, 0 = 10)")
+		workers  = flag.Int("workers", 0, "concurrent shards or refresh workers (0 = one per CPU)")
+		edits    = flag.String("edits", "", "edit-stream file of blank-line-separated 'add u v'/'del u v' batches: replay incrementally against the target graph")
+		incrOut  = flag.String("incr-out", "", "write the incr_* metrics registry snapshot as JSON to this file (only with -edits)")
+		incrTol  = flag.Float64("incr-tol", 0, "incremental embedding-row change tolerance: 0 = bitwise, >0 = relative, <0 = refresh everything")
+		incrHops = flag.Int("incr-hops", 0, "restrict incremental target refresh to nodes within this many hops of an edit (0 = tolerance only)")
+		drift    = flag.Float64("drift", 0, "dirty-row fraction above which incremental re-alignment falls back to a cold solve (0 = default 0.5, >=1 = never)")
 	)
 	flag.Parse()
 	if *srcPath == "" || *dstPath == "" {
@@ -88,9 +105,16 @@ func main() {
 
 	var mapping []int
 	var simTime, assignTime time.Duration
-	if *parts >= 2 {
+	switch {
+	case *edits != "":
+		if *parts >= 2 {
+			fatal(fmt.Errorf("-edits and -partitions are mutually exclusive"))
+		}
+		mapping, dst, simTime, assignTime, err = alignIncremental(*algoName, src, dst,
+			*edits, *incrOut, *topK, *workers, *incrTol, *incrHops, *drift, tracer)
+	case *parts >= 2:
 		mapping, simTime, assignTime, err = alignPartitioned(*algoName, src, dst, graphalign.AssignMethod(*method), *parts, *topK, *workers, tracer)
-	} else {
+	default:
 		mapping, simTime, assignTime, err = graphalign.AlignTimedTraced(*algoName, src, dst, graphalign.AssignMethod(*method), tracer)
 	}
 	if err != nil {
@@ -150,6 +174,75 @@ func alignPartitioned(name string, src, dst *graphalign.Graph, method graphalign
 		func() (graphalign.Aligner, error) { return graphalign.NewAligner(name) },
 		src, dst, method, partition.Options{K: parts, Workers: workers, TopK: topK, Tracer: tracer})
 	return mapping, stats.AlignTime, stats.StitchTime, err
+}
+
+// alignIncremental replays an edit-stream file against the target graph:
+// cold-align once (reported as the similarity time), then apply each batch
+// with warm-started re-alignment (the summed apply time is reported as the
+// assignment time). Returns the final mapping and the final edited target,
+// which is what the printed metrics must be scored against.
+func alignIncremental(name string, src, dst *graphalign.Graph, editsPath, incrOut string, topK, workers int, tol float64, hops int, drift float64, tracer *graphalign.Tracer) ([]int, *graphalign.Graph, time.Duration, time.Duration, error) {
+	f, err := os.Open(editsPath)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	batches, err := graph.ReadEditStream(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, 0, 0, fmt.Errorf("edits: %w", err)
+	}
+	a, err := graphalign.NewAligner(name)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if topK == 0 {
+		topK = 10
+	}
+	reg := obsv.NewRegistry()
+	// Materialize the whole incr_* family up front so -incr-out always has
+	// the full series set, zeros included, whatever the stream exercised.
+	incremental.PreRegisterMetrics(reg)
+	t0 := time.Now()
+	sess, err := incremental.NewSession(context.Background(), a, src, dst, incremental.Options{
+		TopK:           topK,
+		Workers:        workers,
+		DriftThreshold: drift,
+		ColTolerance:   tol,
+		DirtyHops:      hops,
+		Tracer:         tracer,
+		Registry:       reg,
+	})
+	simTime := time.Since(t0)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	var assignTime time.Duration
+	for i, batch := range batches {
+		t1 := time.Now()
+		stats, err := sess.Apply(context.Background(), batch)
+		assignTime += time.Since(t1)
+		if err != nil {
+			return nil, nil, 0, 0, fmt.Errorf("batch %d: %w", i, err)
+		}
+		fmt.Fprintf(os.Stderr, "batch=%d edits=%d dirty_rows=%d dirty_cols=%d warm=%t rebid_rows=%d rounds=%d noop=%t time=%s\n",
+			i, stats.Edits, stats.DirtyRows, stats.ChangedCols, stats.Warm,
+			stats.RebidRows, stats.Rounds, stats.Noop,
+			(stats.RefreshTime + stats.CandidateTime + stats.SolveTime).Round(time.Microsecond))
+	}
+	if incrOut != "" {
+		out, err := os.Create(incrOut)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if err := reg.WriteJSON(out); err != nil {
+			out.Close()
+			return nil, nil, 0, 0, err
+		}
+		if err := out.Close(); err != nil {
+			return nil, nil, 0, 0, err
+		}
+	}
+	return sess.Mapping(), sess.Target(), simTime, assignTime, nil
 }
 
 func readTruth(path string, n int) ([]int, error) {

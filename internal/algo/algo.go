@@ -83,6 +83,38 @@ type FactorAligner interface {
 	FactorsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.FactorEmbedding, error)
 }
 
+// IncrementalEmbedder is an optional refinement of EmbeddingAligner for
+// evolving-target sessions (internal/incremental): RefreshEmbeddingsCtx
+// re-embeds (src, dst) after target-side edits, reusing whatever internal
+// state the previous call on the same pair lineage left behind, and
+// restricting fresh target-side work to the nodes scope allows (nil = all).
+// The first call — or any call whose state no longer matches the inputs
+// (different source graph, changed shape) — computes from scratch and is
+// equivalent to EmbeddingsCtx. When the target's fingerprint is unchanged
+// since the previous call the result must be bitwise identical to the
+// previous one (the noop-replay contract). Outside those cases the result
+// may carry bounded staleness: rows whose inputs moved less than the
+// implementation's refresh tolerance keep their previous vectors until the
+// accumulated movement crosses it.
+//
+// Implementations keep per-instance state, so an instance used for refresh
+// must not be shared across sessions; the returned embedding is private to
+// the caller.
+type IncrementalEmbedder interface {
+	EmbeddingAligner
+	RefreshEmbeddingsCtx(ctx context.Context, src, dst *graph.Graph, scope []bool) (*assign.Embedding, error)
+}
+
+// IncrementalFactorer is IncrementalEmbedder for FactorAligners: a
+// per-instance stateful refresh of the factor bundle after target-side
+// edits, with the same lineage, noop-bitwise, and bounded-staleness
+// contract. Factor refreshes have no per-node scope (rank-one terms are
+// global), so the dirty scope does not appear in the signature.
+type IncrementalFactorer interface {
+	FactorAligner
+	RefreshFactorsCtx(ctx context.Context, src, dst *graph.Graph) (*assign.FactorEmbedding, error)
+}
+
 // Instrumented is optionally implemented by aligners that can report the
 // inner phases of Similarity (eigendecompositions, optimal-transport
 // recursions, power-iteration convergence) through an observability span.

@@ -44,9 +44,21 @@ type LREA struct {
 	// which is what the factored iteration uses.
 	OverlapWeight, BaselineWeight, ConflictPenalty float64
 
+	// RefreshIters is the number of warm power iterations RefreshFactorsCtx
+	// runs from the previous converged iterate after an edit batch; the
+	// dominant eigenvector moves little under small perturbations, so far
+	// fewer steps than a cold start's Iters suffice (0 means 8).
+	RefreshIters int
+
 	// cache holds the shared artifact cache (algo.Cacheable); nil computes
 	// everything locally.
 	cache *cache.Cache
+
+	// state is the last iterate RefreshFactorsCtx warm-starts from; nil
+	// until the first refresh call. Instances used through the refresher
+	// carry pair-specific state and must not be shared
+	// (algo.IncrementalFactorer's contract).
+	state *refreshState
 }
 
 // SetCache implements algo.Cacheable.
@@ -54,7 +66,7 @@ func (l *LREA) SetCache(c *cache.Cache) { l.cache = c }
 
 // New returns LREA with the study's tuned hyperparameters (40 iterations).
 func New() *LREA {
-	return &LREA{Iters: 40}
+	return &LREA{Iters: 40, RefreshIters: 8}
 }
 
 // Name implements algo.Aligner.
@@ -106,15 +118,6 @@ func (l *LREA) computeFactors(ctx context.Context, src, dst *graph.Graph) (*assi
 	if iters <= 0 {
 		iters = 40
 	}
-	// Expand the (sO, sN, sC) scores into the Kronecker-term coefficients.
-	sO, sN, sC := l.OverlapWeight, l.BaselineWeight, l.ConflictPenalty
-	if sO == 0 && sN == 0 && sC == 0 {
-		sO, sN, sC = 2, 1, 0.001
-	}
-	c1 := sO - 2*sC + sN
-	c2 := sC - sN
-	c3 := sN
-
 	// The CSR adjacencies are only read (MulVec), so the shared cached
 	// copies are safe here.
 	aSrc := cache.Adjacency(l.cache, src)
@@ -135,6 +138,28 @@ func (l *LREA) computeFactors(ctx context.Context, src, dst *graph.Graph) (*assi
 	x.us = append(x.us, u0)
 	x.vs = append(x.vs, v0)
 
+	x, err := l.iterate(ctx, aSrc, aDst, x, iters)
+	if err != nil {
+		return nil, err
+	}
+	return &assign.FactorEmbedding{Us: x.us, Vs: x.vs}, nil
+}
+
+// iterate advances the factored power iteration by iters steps from x.
+// Input factor slices are only read; every returned slice is fresh — which
+// is what lets RefreshFactorsCtx warm-start from retained state without
+// cloning it first.
+func (l *LREA) iterate(ctx context.Context, aSrc, aDst *matrix.CSR, x factored, iters int) (factored, error) {
+	n, m := len(x.us[0]), len(x.vs[0])
+	// Expand the (sO, sN, sC) scores into the Kronecker-term coefficients.
+	sO, sN, sC := l.OverlapWeight, l.BaselineWeight, l.ConflictPenalty
+	if sO == 0 && sN == 0 && sC == 0 {
+		sO, sN, sC = 2, 1, 0.001
+	}
+	c1 := sO - 2*sC + sN
+	c2 := sC - sN
+	c3 := sN
+
 	ones := func(k int) []float64 {
 		o := make([]float64, k)
 		for i := range o {
@@ -147,7 +172,7 @@ func (l *LREA) computeFactors(ctx context.Context, src, dst *graph.Graph) (*assi
 
 	for it := 0; it < iters; it++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return factored{}, err
 		}
 		r := len(x.us)
 		nus := make([][]float64, 0, r+3)
@@ -217,7 +242,7 @@ func (l *LREA) computeFactors(ctx context.Context, src, dst *graph.Graph) (*assi
 		}
 	}
 
-	return &assign.FactorEmbedding{Us: x.us, Vs: x.vs}, nil
+	return x, nil
 }
 
 // renormalize scales the factored X to unit Frobenius-like norm using the

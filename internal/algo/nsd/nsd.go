@@ -37,6 +37,12 @@ type NSD struct {
 	// fixed-seeded — so the full result is cached per pair, which also lets
 	// CONE's NSD warm start share it.
 	cache *cache.Cache
+
+	// state is the last full capture RefreshFactorsCtx re-iterates
+	// incrementally; nil until the first refresh call. Instances used through
+	// the refresher carry pair-specific state and must not be shared
+	// (algo.IncrementalFactorer's contract).
+	state *refreshState
 }
 
 // SetCache implements algo.Cacheable.

@@ -1,0 +1,116 @@
+package nsd
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"graphalign/internal/gen"
+	"graphalign/internal/graph"
+	"graphalign/internal/noise"
+)
+
+func refreshPair(t *testing.T, n int, seed int64) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	src := gen.ErdosRenyi(n, 8/float64(n), rng)
+	pair, err := noise.Apply(src, noise.OneWay, 0.05, noise.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair.Source, pair.Target
+}
+
+// The first refresh call is the full pipeline (bitwise FactorsCtx), and an
+// unchanged target reproduces it bitwise.
+func TestRefreshFirstCallAndNoop(t *testing.T) {
+	src, dst := refreshPair(t, 50, 31)
+	ctx := context.Background()
+	n := New()
+	got, err := n.RefreshFactorsCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New().FactorsCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("first refresh differs from the batch pipeline")
+	}
+	again, err := n.RefreshFactorsCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Fatal("unchanged target did not reproduce the previous factors bitwise")
+	}
+	if &again.Us[0][0] == &got.Us[0][0] {
+		t.Fatal("refresh aliases previously returned storage")
+	}
+}
+
+// Across target edits the source iterates and the frozen prior components
+// must stay bitwise static — only the downstream w iterates may move.
+func TestRefreshKeepsSourceSideStatic(t *testing.T) {
+	src, dst := refreshPair(t, 50, 32)
+	ctx := context.Background()
+	n := New()
+	prev, err := n.RefreshFactorsCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := n.Iters
+	comps := len(prev.Us) / (iters + 1)
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 3; step++ {
+		batch, err := noise.EditBatch(dst, 0.02, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err = graph.ApplyEdits(dst, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := n.RefreshFactorsCtx(ctx, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Us, prev.Us) {
+			t.Fatalf("step %d: source iterates moved on a target edit", step)
+		}
+		if !reflect.DeepEqual(got.Weights, prev.Weights) {
+			t.Fatalf("step %d: term weights moved", step)
+		}
+		for c := 0; c < comps; c++ {
+			if !reflect.DeepEqual(got.Vs[c*(iters+1)], prev.Vs[c*(iters+1)]) {
+				t.Fatalf("step %d: frozen prior component %d moved", step, c)
+			}
+		}
+		prev = got
+	}
+}
+
+// A new source graph invalidates the capture: the refresher must fall back
+// to the full pipeline (fresh prior, fresh SVD) for the new pair.
+func TestRefreshSourceChangeRecaptures(t *testing.T) {
+	src, dst := refreshPair(t, 40, 33)
+	src2, _ := refreshPair(t, 40, 34)
+	ctx := context.Background()
+	n := New()
+	if _, err := n.RefreshFactorsCtx(ctx, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.RefreshFactorsCtx(ctx, src2, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New().FactorsCtx(ctx, src2, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("source change did not recapture the full pipeline")
+	}
+}

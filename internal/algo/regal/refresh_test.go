@@ -1,0 +1,174 @@
+package regal
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"graphalign/internal/gen"
+	"graphalign/internal/graph"
+	"graphalign/internal/matrix"
+	"graphalign/internal/noise"
+)
+
+func refreshPair(t *testing.T, n int, seed int64) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	src := gen.ErdosRenyi(n, 8/float64(n), rng)
+	pair, err := noise.Apply(src, noise.OneWay, 0.05, noise.Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair.Source, pair.Target
+}
+
+// The first refresh call is the full pipeline: it must match EmbeddingsCtx
+// bitwise, and an unchanged target must reproduce it bitwise (the
+// algo.IncrementalEmbedder noop contract).
+func TestRefreshFirstCallAndNoop(t *testing.T) {
+	src, dst := refreshPair(t, 60, 21)
+	ctx := context.Background()
+	r := New()
+	got, err := r.RefreshEmbeddingsCtx(ctx, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New().EmbeddingsCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Src, want.Src) || !reflect.DeepEqual(got.Dst, want.Dst) {
+		t.Fatal("first refresh differs from the batch pipeline")
+	}
+	again, err := r.RefreshEmbeddingsCtx(ctx, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Src, got.Src) || !reflect.DeepEqual(again.Dst, got.Dst) {
+		t.Fatal("unchanged target did not reproduce the previous embeddings bitwise")
+	}
+	if &again.Dst.Data[0] == &got.Dst.Data[0] {
+		t.Fatal("refresh aliases previously returned storage")
+	}
+}
+
+// projectPinned recomputes what the refresher must store for joint node
+// index i under the pinned basis: the landmark-kernel row against the
+// captured signatures, pushed through the captured projection and
+// normalized — the test's independent replay of the reprojection math.
+func projectPinned(r *REGAL, st *refreshState, i int) []float64 {
+	y := make([]float64, st.scaled.Cols)
+	for j, l := range st.landmarks {
+		v := regalSim(st.sig, i, l, r.GammaStruc)
+		if v == 0 {
+			continue
+		}
+		sRow := st.scaled.Row(j)
+		for k, s := range sRow {
+			y[k] += v * s
+		}
+	}
+	matrix.Normalize(y)
+	return y
+}
+
+// With RefreshTol 0 every target row after an edit batch is either bitwise
+// its previous value (signature unchanged, or a pinned landmark) or exactly
+// the pinned-basis reprojection of its new signature — nothing in between —
+// and the source side never moves.
+func TestRefreshReprojectionExact(t *testing.T) {
+	src, dst := refreshPair(t, 60, 22)
+	ctx := context.Background()
+	r := New()
+	r.RefreshTol = 0
+	prev, err := r.RefreshEmbeddingsCtx(ctx, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 3; step++ {
+		batch, err := noise.EditBatch(dst, 0.02, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err = graph.ApplyEdits(dst, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.RefreshEmbeddingsCtx(ctx, src, dst, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Src, prev.Src) {
+			t.Fatalf("step %d: source embeddings moved on a target edit", step)
+		}
+		moved := 0
+		for u := 0; u < dst.N(); u++ {
+			row := got.Dst.Row(u)
+			if reflect.DeepEqual(row, prev.Dst.Row(u)) {
+				continue
+			}
+			moved++
+			if want := projectPinned(r, r.state, src.N()+u); !reflect.DeepEqual(row, want) {
+				t.Fatalf("step %d: row %d is neither its previous value nor the exact reprojection", step, u)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("step %d: no row moved under tol 0 after a real edit batch", step)
+		}
+		prev = got
+	}
+}
+
+// An all-false scope pins every signature, so the embeddings come back
+// bitwise unchanged regardless of the edits — the scope is the caller's
+// staleness bound and the refresher must honor it.
+func TestRefreshScopeBoundsWork(t *testing.T) {
+	src, dst := refreshPair(t, 60, 23)
+	ctx := context.Background()
+	r := New()
+	prev, err := r.RefreshEmbeddingsCtx(ctx, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	batch, err := noise.EditBatch(dst, 0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst2, err := graph.ApplyEdits(dst, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.RefreshEmbeddingsCtx(ctx, src, dst2, make([]bool, dst2.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Src, prev.Src) || !reflect.DeepEqual(got.Dst, prev.Dst) {
+		t.Fatal("empty scope still moved embedding rows")
+	}
+}
+
+// A new source graph invalidates the captured state: the refresher must fall
+// back to the full pipeline for the new pair.
+func TestRefreshSourceChangeRecaptures(t *testing.T) {
+	src, dst := refreshPair(t, 50, 24)
+	src2, _ := refreshPair(t, 50, 25)
+	ctx := context.Background()
+	r := New()
+	if _, err := r.RefreshEmbeddingsCtx(ctx, src, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.RefreshEmbeddingsCtx(ctx, src2, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New().EmbeddingsCtx(ctx, src2, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Src, want.Src) || !reflect.DeepEqual(got.Dst, want.Dst) {
+		t.Fatal("source change did not recapture the full pipeline")
+	}
+}

@@ -37,6 +37,13 @@ type REGAL struct {
 	LandmarksFactor float64
 	// Seed drives landmark sampling.
 	Seed int64
+	// RefreshTol bounds the relative structural-signature drift
+	// RefreshEmbeddingsCtx absorbs without reprojecting a node: a node whose
+	// signature moved by at most this relative amount keeps its previous
+	// embedding row bitwise. 0 reprojects on any change (exact signatures,
+	// still incremental); the algo.IncrementalEmbedder contract allows the
+	// bounded staleness a positive tolerance introduces.
+	RefreshTol float64
 
 	// cache holds the shared artifact cache (algo.Cacheable); nil computes
 	// everything locally. REGAL's embedding is joint over the (src, dst)
@@ -44,6 +51,12 @@ type REGAL struct {
 	// deterministic function of (pair, params) — is the cached unit; this
 	// also lets CONE's REGAL warm start share it.
 	cache *cache.Cache
+
+	// state is the last full pipeline capture RefreshEmbeddingsCtx patches
+	// incrementally; nil until the first refresh call. Instances used through
+	// the refresher carry pair-specific state and must not be shared
+	// (algo.IncrementalEmbedder's contract).
+	state *refreshState
 }
 
 // SetCache implements algo.Cacheable.
@@ -52,7 +65,7 @@ func (r *REGAL) SetCache(c *cache.Cache) { r.cache = c }
 // New returns REGAL with the study's tuned hyperparameters (k=2,
 // p = 10 log n).
 func New() *REGAL {
-	return &REGAL{K: 2, Delta: 0.1, GammaStruc: 1, LandmarksFactor: 10, Seed: 1}
+	return &REGAL{K: 2, Delta: 0.1, GammaStruc: 1, LandmarksFactor: 10, Seed: 1, RefreshTol: 1e-2}
 }
 
 // Name implements algo.Aligner.
@@ -71,43 +84,85 @@ func (r *REGAL) Embed(src, dst *graph.Graph) (ySrc, yDst *matrix.Dense, err erro
 // EmbedCtx is Embed with cooperative cancellation checked between the
 // signature, kernel, and factorization stages and threaded into the SVDs.
 func (r *REGAL) EmbedCtx(ctx context.Context, src, dst *graph.Graph) (ySrc, yDst *matrix.Dense, err error) {
+	st, err := r.embedState(ctx, src, dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st.ySrc, st.yDst, nil
+}
+
+// bucketCount is the number of log-degree histogram buckets for a given
+// maximum degree (Equation 8's log binning).
+func bucketCount(maxDeg int) int {
+	buckets := int(math.Log2(float64(maxDeg))) + 1
+	if buckets < 1 {
+		buckets = 1
+	}
+	return buckets
+}
+
+// signatureRow writes node u's structural signature — the delta-discounted
+// log-bucketed degree histogram of its k-hop neighborhoods — into row,
+// zeroing it first. The accumulation order matches the original joint fill
+// exactly, so recomputed rows are bitwise comparable against stored ones.
+func (r *REGAL) signatureRow(g *graph.Graph, u, buckets int, row []float64) {
+	for i := range row {
+		row[i] = 0
+	}
+	hops := graph.KHopNeighborhoods(g, u, r.K)
+	w := 1.0
+	for _, hop := range hops {
+		for _, v := range hop {
+			d := g.Degree(v)
+			if d < 1 {
+				continue
+			}
+			b := int(math.Log2(float64(d)))
+			if b >= buckets {
+				b = buckets - 1
+			}
+			row[b] += w
+		}
+		w *= r.Delta
+	}
+}
+
+// regalSim is the landmark similarity kernel exp(-gamma·||sig_i - sig_l||²),
+// accumulated dimension-ascending so refreshed C entries reproduce the full
+// pipeline's values bitwise.
+func regalSim(sig *matrix.Dense, i, l int, gamma float64) float64 {
+	var d2 float64
+	ri, rl := sig.Row(i), sig.Row(l)
+	for k := range ri {
+		d := ri[k] - rl[k]
+		d2 += d * d
+	}
+	return math.Exp(-gamma * d2)
+}
+
+// embedState runs the full xNetMF pipeline and returns every intermediate
+// the incremental refresher needs alongside the embeddings: the joint
+// signature matrix, the landmark set, and the Nyström projection. EmbedCtx
+// uses it as the plain batch path; RefreshEmbeddingsCtx keeps the returned
+// state on the instance and patches it in place across edit batches.
+func (r *REGAL) embedState(ctx context.Context, src, dst *graph.Graph) (*refreshState, error) {
 	n1, n2 := src.N(), dst.N()
 	if n1 == 0 || n2 == 0 {
-		return nil, nil, errors.New("regal: empty graph")
+		return nil, errors.New("regal: empty graph")
 	}
 	total := n1 + n2
 	maxDeg := src.MaxDegree()
 	if d := dst.MaxDegree(); d > maxDeg {
 		maxDeg = d
 	}
-	buckets := int(math.Log2(float64(maxDeg))) + 1
-	if buckets < 1 {
-		buckets = 1
-	}
+	buckets := bucketCount(maxDeg)
 	sig := matrix.NewDense(total, buckets)
-	fill := func(g *graph.Graph, offset int) {
-		for u := 0; u < g.N(); u++ {
-			hops := graph.KHopNeighborhoods(g, u, r.K)
-			row := sig.Row(offset + u)
-			w := 1.0
-			for _, hop := range hops {
-				for _, v := range hop {
-					d := g.Degree(v)
-					if d < 1 {
-						continue
-					}
-					b := int(math.Log2(float64(d)))
-					if b >= buckets {
-						b = buckets - 1
-					}
-					row[b] += w
-				}
-				w *= r.Delta
-			}
-		}
+	for u := 0; u < n1; u++ {
+		r.signatureRow(src, u, buckets, sig.Row(u))
 	}
-	fill(src, 0)
-	fill(dst, n1)
+	for u := 0; u < n2; u++ {
+		r.signatureRow(dst, u, buckets, sig.Row(n1+u))
+	}
 
 	// Landmark selection over the union.
 	p := int(r.LandmarksFactor*math.Log2(float64(total))) + 1
@@ -119,38 +174,29 @@ func (r *REGAL) EmbedCtx(ctx context.Context, src, dst *graph.Graph) (ySrc, yDst
 
 	// C: node-to-landmark similarity; W: landmark-to-landmark.
 	c := matrix.NewDense(total, p)
-	simTo := func(i, l int) float64 {
-		var d2 float64
-		ri, rl := sig.Row(i), sig.Row(l)
-		for k := range ri {
-			d := ri[k] - rl[k]
-			d2 += d * d
-		}
-		return math.Exp(-r.GammaStruc * d2)
-	}
 	for i := 0; i < total; i++ {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		row := c.Row(i)
 		for j, l := range landmarks {
-			row[j] = simTo(i, l)
+			row[j] = regalSim(sig, i, l, r.GammaStruc)
 		}
 	}
 	w := matrix.NewDense(p, p)
 	for a, la := range landmarks {
 		for b, lb := range landmarks {
-			w.Set(a, b, simTo(la, lb))
+			w.Set(a, b, regalSim(sig, la, lb, r.GammaStruc))
 		}
 	}
 	// Nyström: S ~ C W† Cᵀ; embeddings Y = C U Σ^-1/2 from the SVD of W†.
 	wPinv, err := linalg.PseudoInverseCtx(ctx, w, 1e-10)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	u, s, _, err := linalg.SVDAnyCtx(ctx, wPinv)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Scale columns by sqrt of singular values.
 	scaled := matrix.NewDense(p, len(s))
@@ -165,11 +211,16 @@ func (r *REGAL) EmbedCtx(ctx context.Context, src, dst *graph.Graph) (ySrc, yDst
 	for i := 0; i < total; i++ {
 		matrix.Normalize(y.Row(i))
 	}
-	ySrc = matrix.NewDense(n1, y.Cols)
-	yDst = matrix.NewDense(n2, y.Cols)
+	ySrc := matrix.NewDense(n1, y.Cols)
+	yDst := matrix.NewDense(n2, y.Cols)
 	copy(ySrc.Data, y.Data[:n1*y.Cols])
 	copy(yDst.Data, y.Data[n1*y.Cols:])
-	return ySrc, yDst, nil
+	return &refreshState{
+		srcKey: cache.GraphKey(src), dstKey: cache.GraphKey(dst),
+		n1: n1, n2: n2, buckets: buckets,
+		sig: sig, landmarks: landmarks, scaled: scaled,
+		ySrc: ySrc, yDst: yDst,
+	}, nil
 }
 
 // Similarity implements algo.Aligner: sim(u, v) = exp(-||y_u - y_v||²).

@@ -64,6 +64,13 @@ type SparseStats struct {
 	// FellBack reports that the candidate graph left rows unmatchable and
 	// the solve was redone by dense JV over the materialized matrix.
 	FellBack bool
+	// WarmStart reports the solve was seeded from a previous AuctionState
+	// (see SolveAuctionWarm).
+	WarmStart bool
+	// RebidRows is the number of real rows that entered a warm solve
+	// unassigned: the caller's dirty rows plus any seeds rejected by the
+	// feasibility repair pass. Zero for cold solves.
+	RebidRows int
 }
 
 // SolveSparse dispatches a sparse assignment method over a candidate set.
@@ -144,15 +151,88 @@ func auctionMaxRounds(persons, objects int) int {
 // Hopcroft–Karp up front, plus a round-cap backstop); callers should fall
 // back to a dense solver (see SolveSparse).
 func SolveAuction(c *Candidates, workers int) ([]int, SparseStats, bool) {
-	n, m := c.Rows, c.Cols
+	mapping, _, stats, ok := SolveAuctionState(c, workers)
+	return mapping, stats, ok
+}
+
+// AuctionState is the reusable outcome of an auction solve: the final column
+// price vector plus the schedule facts a later solve over a slightly edited
+// candidate set needs to warm-start (see SolveAuctionWarm). The price vector
+// is owned by the state — solvers copy it rather than aliasing caller memory.
+type AuctionState struct {
+	// Price is the final column price vector (length Cols).
+	Price []float64
+	// FinalEps is the ε the returned assignment satisfies ε-complementary
+	// slackness for; the total is within Cols*FinalEps of the candidate-graph
+	// optimum.
+	FinalEps float64
+	// Spread is the candidate value spread the ε schedule was derived from.
+	Spread float64
+}
+
+// SolveAuctionState is SolveAuction, additionally returning the final
+// AuctionState so the caller can warm-start a later solve over an edited
+// candidate set.
+func SolveAuctionState(c *Candidates, workers int) ([]int, AuctionState, SparseStats, bool) {
 	var stats SparseStats
-	if n == 0 {
-		return nil, stats, true
+	if c.Rows == 0 {
+		return nil, AuctionState{}, stats, true
 	}
 	if !c.Matchable() {
-		return nil, stats, false
+		return nil, AuctionState{}, stats, false
 	}
+	a := newAuctionRun(c, workers)
+	epsFinal := a.epsFinal()
+	eps := a.spread / 4
+	if eps < epsFinal {
+		eps = epsFinal
+	}
+	for {
+		stats.Phases++
+		stats.FinalEps = eps
+		// Each phase restarts the assignment from the current prices, which
+		// satisfy ε-CS for the previous (larger) ε.
+		a.resetAssignment()
+		rounds, ok := a.runPhase(eps)
+		stats.Rounds += rounds
+		if !ok {
+			return nil, AuctionState{}, stats, false
+		}
+		if eps <= epsFinal {
+			break
+		}
+		eps /= 4
+		if eps < epsFinal {
+			eps = epsFinal
+		}
+	}
+	mapping := make([]int, a.n)
+	copy(mapping, a.personObj[:a.n])
+	return mapping, AuctionState{Price: a.price, FinalEps: stats.FinalEps, Spread: a.spread}, stats, true
+}
 
+// auctionRun holds the mutable state of one auction solve, shared by the cold
+// ε-scaling loop (SolveAuctionState) and the warm single-phase path
+// (SolveAuctionWarm). Persons are the rows padded square with zero-value
+// virtual rows, exactly like SolveJV's padding.
+type auctionRun struct {
+	c          *Candidates
+	n, m       int // real rows, columns (persons run 0..m-1)
+	spread     float64
+	price      []float64
+	personObj  []int // person -> column, -1 unassigned
+	objPerson  []int // column -> person, -1 free
+	unassigned []int // unassigned persons, ascending
+	bidObj     []int
+	bidVal     []float64
+	roundStamp []int // per-round winning bid per column, stamp-invalidated
+	round      int
+	workers    int
+	parWorkers int
+}
+
+func newAuctionRun(c *Candidates, workers int) *auctionRun {
+	n, m := c.Rows, c.Cols
 	// Value spread drives the ε schedule. Virtual padding rows hold value 0,
 	// so the spread must cover 0 when padding is present. Rows are scanned
 	// through Row so pruned-short rows (Candidates.Len) contribute only
@@ -179,155 +259,151 @@ func SolveAuction(c *Candidates, workers int) ([]int, SparseStats, bool) {
 			maxV = 0
 		}
 	}
-	spread := maxV - minV
-	epsFinal := spread / (1e6 * float64(m+1))
+	a := &auctionRun{
+		c:          c,
+		n:          n,
+		m:          m,
+		spread:     maxV - minV,
+		price:      make([]float64, m),
+		personObj:  make([]int, m),
+		objPerson:  make([]int, m),
+		unassigned: make([]int, 0, m),
+		bidObj:     make([]int, m),
+		bidVal:     make([]float64, m),
+		roundStamp: make([]int, m),
+		workers:    workers,
+		parWorkers: parallel.Workers(workers),
+	}
+	for j := range a.roundStamp {
+		a.roundStamp[j] = -1
+	}
+	return a
+}
+
+func (a *auctionRun) epsFinal() float64 {
+	epsFinal := a.spread / (1e6 * float64(a.m+1))
 	if epsFinal <= 0 {
 		epsFinal = 1e-12 // all-equal values: one phase, any perfect matching is optimal
 	}
-	eps := spread / 4
-	if eps < epsFinal {
-		eps = epsFinal
-	}
+	return epsFinal
+}
 
-	persons := m // rows padded square with zero-value virtual rows
-	price := make([]float64, m)
-	personObj := make([]int, persons) // person -> column, -1 unassigned
-	objPerson := make([]int, m)       // column -> person, -1 free
-	unassigned := make([]int, 0, persons)
-	bidObj := make([]int, persons)
-	bidVal := make([]float64, persons)
-	// Per-round winning bid per column, invalidated by a round stamp rather
-	// than cleared.
-	roundStamp := make([]int, m)
-	for j := range roundStamp {
-		roundStamp[j] = -1
+func (a *auctionRun) resetAssignment() {
+	for i := range a.personObj {
+		a.personObj[i] = -1
 	}
-	round := 0
+	for j := range a.objPerson {
+		a.objPerson[j] = -1
+	}
+	a.unassigned = a.unassigned[:0]
+	for p := 0; p < a.m; p++ {
+		a.unassigned = append(a.unassigned, p)
+	}
+}
 
-	// bid computes person p's favored column and bid price under the current
-	// prices. Persons >= n are virtual padding with value 0 on every column.
-	// With a single viable candidate, second stays -Inf; the bid premium is
-	// then capped at one value spread rather than +Inf. An infinite price
-	// would poison later ε phases: the phase restart keeps prices, the row's
-	// only net value becomes -Inf, and the row can never bid again — the
-	// phase then spins to the round cap and falls back. A spread-sized
-	// overbid still dominates every competing finite net while keeping the
-	// next phase solvable.
-	bid := func(p int, eps float64) (int, float64) {
-		best, second := math.Inf(-1), math.Inf(-1)
-		bestJ := -1
-		if p < n {
-			cols, vals := c.Row(p)
-			for ci, j := range cols {
-				net := vals[ci] - price[j]
-				if net > best {
-					second = best
-					best, bestJ = net, j
-				} else if net > second {
-					second = net
-				}
+// bid computes person p's favored column and bid price under the current
+// prices. Persons >= n are virtual padding with value 0 on every column.
+// With a single viable candidate, second stays -Inf; the bid premium is
+// then capped at one value spread rather than +Inf. An infinite price
+// would poison later ε phases: the phase restart keeps prices, the row's
+// only net value becomes -Inf, and the row can never bid again — the
+// phase then spins to the round cap and falls back. A spread-sized
+// overbid still dominates every competing finite net while keeping the
+// next phase solvable.
+func (a *auctionRun) bid(p int, eps float64) (int, float64) {
+	best, second := math.Inf(-1), math.Inf(-1)
+	bestJ := -1
+	if p < a.n {
+		cols, vals := a.c.Row(p)
+		for ci, j := range cols {
+			net := vals[ci] - a.price[j]
+			if net > best {
+				second = best
+				best, bestJ = net, j
+			} else if net > second {
+				second = net
 			}
+		}
+	} else {
+		for j := 0; j < a.m; j++ {
+			net := -a.price[j]
+			if net > best {
+				second = best
+				best, bestJ = net, j
+			} else if net > second {
+				second = net
+			}
+		}
+	}
+	if bestJ == -1 {
+		return -1, 0
+	}
+	if math.IsInf(second, -1) {
+		second = best - a.spread
+	}
+	return bestJ, a.price[bestJ] + (best - second) + eps
+}
+
+// runPhase runs synchronous bidding rounds at a fixed ε until every person is
+// assigned, starting from whatever partial assignment the run currently holds
+// (a.unassigned must list the unassigned persons in ascending order). It
+// returns the number of rounds run; ok is false when the round-cap backstop
+// trips.
+func (a *auctionRun) runPhase(eps float64) (int, bool) {
+	maxRounds := auctionMaxRounds(a.m, a.m)
+	rounds := 0
+	for phaseRound := 0; len(a.unassigned) > 0; phaseRound++ {
+		if phaseRound > maxRounds {
+			return rounds, false
+		}
+		rounds++
+		a.round++
+		// Bidding: pure per-person scans against the shared price vector.
+		computeBids := func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				p := a.unassigned[idx]
+				a.bidObj[p], a.bidVal[p] = a.bid(p, eps)
+			}
+		}
+		if len(a.unassigned)*(a.c.K+1) >= candidateBudget && a.parWorkers > 1 {
+			parallel.Blocks(a.workers, len(a.unassigned), computeBids)
 		} else {
-			for j := 0; j < m; j++ {
-				net := -price[j]
-				if net > best {
-					second = best
-					best, bestJ = net, j
-				} else if net > second {
-					second = net
+			computeBids(0, len(a.unassigned))
+		}
+		// Resolution: find each column's winning bid. Bidders are scanned
+		// in ascending person order and only a strictly higher bid
+		// displaces the provisional winner, so ties go to the lowest
+		// person and the outcome never depends on goroutine scheduling.
+		// Every bid exceeds the column's pre-round price by >= ε by
+		// construction, so all bids are acceptable.
+		for _, p := range a.unassigned {
+			j := a.bidObj[p]
+			if j < 0 {
+				continue
+			}
+			if a.roundStamp[j] != a.round {
+				a.roundStamp[j] = a.round
+				if prev := a.objPerson[j]; prev != -1 {
+					a.personObj[prev] = -1
 				}
-			}
-		}
-		if bestJ == -1 {
-			return -1, 0
-		}
-		if math.IsInf(second, -1) {
-			second = best - spread
-		}
-		return bestJ, price[bestJ] + (best - second) + eps
-	}
-
-	parWorkers := parallel.Workers(workers)
-	for {
-		stats.Phases++
-		stats.FinalEps = eps
-		// Each phase restarts the assignment from the current prices, which
-		// satisfy ε-CS for the previous (larger) ε.
-		for i := range personObj {
-			personObj[i] = -1
-		}
-		for j := range objPerson {
-			objPerson[j] = -1
-		}
-		unassigned = unassigned[:0]
-		for p := 0; p < persons; p++ {
-			unassigned = append(unassigned, p)
-		}
-		maxRounds := auctionMaxRounds(persons, m)
-		for phaseRound := 0; len(unassigned) > 0; phaseRound++ {
-			if phaseRound > maxRounds {
-				return nil, stats, false
-			}
-			stats.Rounds++
-			round++
-			// Bidding: pure per-person scans against the shared price vector.
-			curEps := eps
-			computeBids := func(lo, hi int) {
-				for idx := lo; idx < hi; idx++ {
-					p := unassigned[idx]
-					bidObj[p], bidVal[p] = bid(p, curEps)
-				}
-			}
-			if len(unassigned)*(c.K+1) >= candidateBudget && parWorkers > 1 {
-				parallel.Blocks(workers, len(unassigned), computeBids)
 			} else {
-				computeBids(0, len(unassigned))
-			}
-			// Resolution: find each column's winning bid. Bidders are scanned
-			// in ascending person order and only a strictly higher bid
-			// displaces the provisional winner, so ties go to the lowest
-			// person and the outcome never depends on goroutine scheduling.
-			// Every bid exceeds the column's pre-round price by >= ε by
-			// construction, so all bids are acceptable.
-			for _, p := range unassigned {
-				j := bidObj[p]
-				if j < 0 {
+				prev := a.objPerson[j]
+				if a.bidVal[p] <= a.bidVal[prev] {
 					continue
 				}
-				if roundStamp[j] != round {
-					roundStamp[j] = round
-					if prev := objPerson[j]; prev != -1 {
-						personObj[prev] = -1
-					}
-				} else {
-					prev := objPerson[j]
-					if bidVal[p] <= bidVal[prev] {
-						continue
-					}
-					personObj[prev] = -1
-				}
-				objPerson[j] = p
-				personObj[p] = j
-				price[j] = bidVal[p]
+				a.personObj[prev] = -1
 			}
-			// Rebuild the unassigned list in ascending person order.
-			unassigned = unassigned[:0]
-			for p := 0; p < persons; p++ {
-				if personObj[p] == -1 {
-					unassigned = append(unassigned, p)
-				}
+			a.objPerson[j] = p
+			a.personObj[p] = j
+			a.price[j] = a.bidVal[p]
+		}
+		// Rebuild the unassigned list in ascending person order.
+		a.unassigned = a.unassigned[:0]
+		for p := 0; p < a.m; p++ {
+			if a.personObj[p] == -1 {
+				a.unassigned = append(a.unassigned, p)
 			}
-		}
-		if eps <= epsFinal {
-			break
-		}
-		eps /= 4
-		if eps < epsFinal {
-			eps = epsFinal
 		}
 	}
-
-	mapping := make([]int, n)
-	copy(mapping, personObj[:n])
-	return mapping, stats, true
+	return rounds, true
 }

@@ -485,6 +485,24 @@ func (c *Candidates) Matchable() bool {
 // maxMatching is Hopcroft–Karp over the candidate bipartite graph, returning
 // the maximum number of simultaneously matchable rows.
 func (c *Candidates) maxMatching() int {
+	mm, _, _ := c.maxMatchingState(nil)
+	return mm
+}
+
+// MaxMatching returns the maximum number of simultaneously matchable rows
+// (Hopcroft–Karp over the candidate edges).
+func (c *Candidates) MaxMatching() int { return c.maxMatching() }
+
+// maxMatchingState runs Hopcroft–Karp and additionally returns the matching
+// itself (row -> col and col -> row, -1 for free), for callers that repair an
+// unmatchable candidate graph (see AugmentEmbedding/AugmentFactor). seed,
+// when length Rows, pre-matches each (i, seed[i]) pair that is still a
+// candidate edge and collision-free (first row wins, ascending) before the
+// search runs; Hopcroft–Karp only grows a matching, so seeded pairs survive
+// unless absorbed into an augmenting path — which keeps the matching (and
+// hence the repair built on it) stable across small candidate-set edits
+// instead of reshuffling wholesale.
+func (c *Candidates) maxMatchingState(seed []int) (int, []int, []int) {
 	const inf = int(^uint(0) >> 1)
 	n := c.Rows
 	matchRow := make([]int, n) // row -> col, -1 free
@@ -498,6 +516,21 @@ func (c *Candidates) maxMatching() int {
 	dist := make([]int, n)
 	queue := make([]int, 0, n)
 	matched := 0
+	if len(seed) == n {
+		for i, j := range seed {
+			if j < 0 || j >= c.Cols || matchCol[j] != -1 {
+				continue
+			}
+			cols, _ := c.Row(i)
+			for _, cj := range cols {
+				if cj == j {
+					matchRow[i], matchCol[j] = j, i
+					matched++
+					break
+				}
+			}
+		}
+	}
 	for {
 		// BFS layering from free rows.
 		queue = queue[:0]
@@ -524,7 +557,7 @@ func (c *Candidates) maxMatching() int {
 			}
 		}
 		if !found {
-			return matched
+			return matched, matchRow, matchCol
 		}
 		// DFS augmentation along the layering.
 		var try func(i int) bool

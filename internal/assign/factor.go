@@ -138,36 +138,8 @@ func TopKFactor(f *FactorEmbedding, k, workers int) *Candidates {
 		buf := make([]float64, m)
 		heap := make([]pair, 0, k)
 		for i := lo; i < hi; i++ {
-			for j := range buf {
-				buf[j] = 0
-			}
-			for t := range f.Us {
-				// Mirror AddOuterScaled's row schedule exactly: the scaled
-				// left coefficient is formed once and a zero skips the term,
-				// which also skips its (potentially NaN-producing) products.
-				w := f.weight(t) * f.Us[t][i]
-				if w == 0 {
-					continue
-				}
-				vs := f.Vs[t]
-				for j, vv := range vs {
-					buf[j] += w * vv
-				}
-			}
-			heap = selectTopKFinite(heap[:0], buf, k)
-			rowLen[i] = len(heap)
-			// Heap-sort into (v desc, j asc), as TopKDense does.
-			cols, vals := c.Col[i*k:(i+1)*k], c.Val[i*k:(i+1)*k]
-			for l := len(heap) - 1; l > 0; l-- {
-				heap[0], heap[l] = heap[l], heap[0]
-				topKSiftDownN(heap, 0, l)
-			}
-			for idx, p := range heap {
-				cols[idx], vals[idx] = p.j, p.v
-			}
-			for idx := len(heap); idx < k; idx++ {
-				cols[idx], vals[idx] = -1, 0
-			}
+			factorScoreRow(f, i, buf)
+			heap, rowLen[i] = factorSelectRow(c, i, buf, heap)
 		}
 	}
 	if n*m >= candidateBudget && parallel.Workers(workers) > 1 {
@@ -182,6 +154,63 @@ func TopKFactor(f *FactorEmbedding, k, workers int) *Candidates {
 		}
 	}
 	return c
+}
+
+// factorScoreRow accumulates row i's factored scores into buf (len Cols),
+// term-ascending — bitwise the row AddOuterScaled would produce. The scaled
+// left coefficient is formed once and a zero skips the term, which also skips
+// its (potentially NaN-producing) products. Each buf[j] is an independent
+// accumulation chain, so factorScoreOne reproduces any single entry bitwise.
+func factorScoreRow(f *FactorEmbedding, i int, buf []float64) {
+	for j := range buf {
+		buf[j] = 0
+	}
+	for t := range f.Us {
+		w := f.weight(t) * f.Us[t][i]
+		if w == 0 {
+			continue
+		}
+		vs := f.Vs[t]
+		for j, vv := range vs {
+			buf[j] += w * vv
+		}
+	}
+}
+
+// factorScoreOne computes the single score (i, j) with factorScoreRow's exact
+// accumulation schedule, for incremental-update probes.
+func factorScoreOne(f *FactorEmbedding, i, j int) float64 {
+	var s float64
+	for t := range f.Us {
+		w := f.weight(t) * f.Us[t][i]
+		if w == 0 {
+			continue
+		}
+		s += w * f.Vs[t][j]
+	}
+	return s
+}
+
+// factorSelectRow bounded-heap selects buf's finite top-K into c's row i
+// (padding short rows with Col -1 / Val 0) and returns the reusable heap
+// storage plus the kept count.
+func factorSelectRow(c *Candidates, i int, buf []float64, heap []pair) ([]pair, int) {
+	k := c.K
+	heap = selectTopKFinite(heap[:0], buf, k)
+	kept := len(heap)
+	// Heap-sort into (v desc, j asc), as TopKDense does.
+	cols, vals := c.Col[i*k:(i+1)*k], c.Val[i*k:(i+1)*k]
+	for l := len(heap) - 1; l > 0; l-- {
+		heap[0], heap[l] = heap[l], heap[0]
+		topKSiftDownN(heap, 0, l)
+	}
+	for idx, p := range heap {
+		cols[idx], vals[idx] = p.j, p.v
+	}
+	for idx := kept; idx < k; idx++ {
+		cols[idx], vals[idx] = -1, 0
+	}
+	return heap, kept
 }
 
 // selectTopKFinite is selectTopK skipping NaN scores (factor-space pruning);

@@ -1,0 +1,287 @@
+package assign
+
+import (
+	"graphalign/internal/kdtree"
+	"graphalign/internal/parallel"
+)
+
+// Clone returns a deep copy of the candidate set, so incremental updates can
+// produce a new version without mutating the previous one (candidate sets are
+// immutable once published).
+func (c *Candidates) Clone() *Candidates {
+	out := &Candidates{Rows: c.Rows, Cols: c.Cols, K: c.K,
+		Col: append([]int(nil), c.Col...),
+		Val: append([]float64(nil), c.Val...)}
+	if c.Len != nil {
+		out.Len = append([]int(nil), c.Len...)
+	}
+	return out
+}
+
+// DiffRows returns the rows whose candidate lists differ between two
+// candidate sets of identical shape, in ascending order — the dirty set a
+// warm-started auction re-bids.
+func DiffRows(a, b *Candidates) []int {
+	var dirty []int
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		same := len(ac) == len(bc)
+		if same {
+			for idx := range ac {
+				if ac[idx] != bc[idx] || av[idx] != bv[idx] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			dirty = append(dirty, i)
+		}
+	}
+	return dirty
+}
+
+// updateWorthwhile reports whether a per-row incremental update can beat a
+// full recompute: once a quarter of either side is dirty, the probe pass plus
+// scattered rescans costs as much as the straight-line bulk kernels.
+func updateWorthwhile(changedRows, n, changedCols, m int) bool {
+	return 4*changedRows < n && 4*changedCols < m
+}
+
+// sqDistAsc is the squared Euclidean distance accumulated dimension-ascending
+// in a single chain — bitwise the per-target chains of topKEmbeddingBrute and
+// matrix.PairwiseSqDist — so probe distances compare exactly against stored
+// candidate values.
+func sqDistAsc(q, r []float64) float64 {
+	var s float64
+	for t, v := range q {
+		d := v - r[t]
+		s += d * d
+	}
+	return s
+}
+
+// UpdateTopKEmbedding incrementally rebuilds the candidate set after an
+// embedding delta: e is the new embedding, prev the candidate set built over
+// the old one, changedRows the source rows and changedCols the target rows
+// whose embedding vectors changed (everything else must be bitwise-unchanged).
+// Rows are rescanned only when the delta can affect them — the row's own
+// embedding moved, a current candidate's target moved, or a moved target's
+// new distance reaches the row's k-th-nearest bound (probed with the exact
+// accumulation schedule of the bulk kernels, so the conservative comparison
+// never misses an entrant). Rescans run the same per-row kernels as
+// TopKEmbedding, so the result equals TopKEmbedding(e, prev.K, ·) bitwise;
+// when the delta is too large for per-row work to win (see updateWorthwhile)
+// it simply runs the bulk rebuild.
+//
+// Returns the new candidate set and the rows whose candidate lists actually
+// changed, ascending — the warm-started auction's dirty set. prev is not
+// mutated.
+func UpdateTopKEmbedding(prev *Candidates, e *Embedding, changedRows, changedCols []int, workers int) (*Candidates, []int) {
+	n, m := prev.Rows, prev.Cols
+	if !updateWorthwhile(len(changedRows), n, len(changedCols), m) {
+		next := TopKEmbedding(e, prev.K, workers)
+		return next, DiffRows(prev, next)
+	}
+	rescan := make([]bool, n)
+	for _, i := range changedRows {
+		rescan[i] = true
+	}
+	if len(changedCols) > 0 {
+		changed := make([]bool, m)
+		for _, j := range changedCols {
+			changed[j] = true
+		}
+		probeRows := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if rescan[i] {
+					continue
+				}
+				cols, vals := prev.Row(i)
+				need := len(vals) < prev.K
+				for _, j := range cols {
+					if j >= 0 && changed[j] {
+						need = true
+						break
+					}
+				}
+				if !need {
+					worst := vals[len(vals)-1]
+					q := e.Src.Row(i)
+					for _, j := range changedCols {
+						v := e.SimFromDist2(sqDistAsc(q, e.Dst.Row(j)))
+						// Not strictly below the kept worst: the moved target
+						// could enter (ties resolve by column id, so equality
+						// must rescan too).
+						if !(v < worst) {
+							need = true
+							break
+						}
+					}
+				}
+				rescan[i] = need
+			}
+		}
+		if n*len(changedCols) >= candidateBudget && parallel.Workers(workers) > 1 {
+			parallel.Blocks(workers, n, probeRows)
+		} else {
+			probeRows(0, n)
+		}
+	}
+	list := make([]int, 0, len(changedRows))
+	for i, r := range rescan {
+		if r {
+			list = append(list, i)
+		}
+	}
+	next := prev.Clone()
+	if len(list) > 0 {
+		var rescanOne func(i int)
+		if e.Src.Cols >= bruteForceDim {
+			rescanOne = func(i int) { topKEmbeddingBrute(e, next, i, i+1) }
+		} else {
+			points := make([][]float64, m)
+			for j := 0; j < m; j++ {
+				points[j] = e.Dst.Row(j)
+			}
+			tree := kdtree.Build(points)
+			rescanOne = func(i int) { topKEmbeddingTree(tree, e, next, i, i+1) }
+		}
+		rescanRows := func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				rescanOne(list[idx])
+			}
+		}
+		if len(list)*prev.K >= 1<<12 && parallel.Workers(workers) > 1 {
+			parallel.Blocks(workers, len(list), rescanRows)
+		} else {
+			rescanRows(0, len(list))
+		}
+	}
+	return next, dirtyAmong(prev, next, list)
+}
+
+// UpdateTopKFactor is UpdateTopKEmbedding for factored similarities: f is the
+// new factor bundle, changedRows the source rows with any changed Us entry,
+// changedCols the target columns with any changed Vs entry (weights changing
+// means every row changed — pass all rows). Probes replay factorScoreRow's
+// exact per-entry accumulation chain (factorScoreOne), rescans run the
+// TopKFactor per-row kernels, so the result equals TopKFactor(f, prev.K, ·)
+// bitwise, including NaN pruning and short-row bookkeeping.
+func UpdateTopKFactor(prev *Candidates, f *FactorEmbedding, changedRows, changedCols []int, workers int) (*Candidates, []int) {
+	n, m := prev.Rows, prev.Cols
+	if !updateWorthwhile(len(changedRows), n, len(changedCols), m) {
+		next := TopKFactor(f, prev.K, workers)
+		return next, DiffRows(prev, next)
+	}
+	rescan := make([]bool, n)
+	for _, i := range changedRows {
+		rescan[i] = true
+	}
+	if len(changedCols) > 0 {
+		changed := make([]bool, m)
+		for _, j := range changedCols {
+			changed[j] = true
+		}
+		probeRows := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if rescan[i] {
+					continue
+				}
+				cols, vals := prev.Row(i)
+				// Short rows have spare capacity: any moved column could slip
+				// in, so rescan unconditionally rather than model NaN pruning
+				// in the probe.
+				need := len(vals) < prev.K
+				if !need {
+					for _, j := range cols {
+						if changed[j] {
+							need = true
+							break
+						}
+					}
+				}
+				if !need {
+					worst := vals[len(vals)-1]
+					for _, j := range changedCols {
+						v := factorScoreOne(f, i, j)
+						if !(v < worst) {
+							need = true
+							break
+						}
+					}
+				}
+				rescan[i] = need
+			}
+		}
+		if n*len(changedCols) >= candidateBudget && parallel.Workers(workers) > 1 {
+			parallel.Blocks(workers, n, probeRows)
+		} else {
+			probeRows(0, n)
+		}
+	}
+	list := make([]int, 0, len(changedRows))
+	for i, r := range rescan {
+		if r {
+			list = append(list, i)
+		}
+	}
+	next := prev.Clone()
+	newLen := make([]int, n)
+	if prev.Len != nil {
+		copy(newLen, prev.Len)
+	} else {
+		for i := range newLen {
+			newLen[i] = prev.K
+		}
+	}
+	if len(list) > 0 {
+		rescanRows := func(lo, hi int) {
+			buf := make([]float64, m)
+			heap := make([]pair, 0, prev.K)
+			for idx := lo; idx < hi; idx++ {
+				i := list[idx]
+				factorScoreRow(f, i, buf)
+				heap, newLen[i] = factorSelectRow(next, i, buf, heap)
+			}
+		}
+		if len(list)*m >= candidateBudget && parallel.Workers(workers) > 1 {
+			parallel.Blocks(workers, len(list), rescanRows)
+		} else {
+			rescanRows(0, len(list))
+		}
+	}
+	next.Len = nil
+	for _, l := range newLen {
+		if l < prev.K {
+			next.Len = newLen
+			break
+		}
+	}
+	return next, dirtyAmong(prev, next, list)
+}
+
+// dirtyAmong filters the rescanned rows down to those whose candidate lists
+// actually changed (a rescan frequently reproduces the old list, and every
+// row dropped here is a row the warm auction never re-bids).
+func dirtyAmong(prev, next *Candidates, rescanned []int) []int {
+	var dirty []int
+	for _, i := range rescanned {
+		pc, pv := prev.Row(i)
+		nc, nv := next.Row(i)
+		same := len(pc) == len(nc)
+		if same {
+			for idx := range pc {
+				if pc[idx] != nc[idx] || pv[idx] != nv[idx] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			dirty = append(dirty, i)
+		}
+	}
+	return dirty
+}

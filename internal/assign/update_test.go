@@ -1,0 +1,163 @@
+package assign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"graphalign/internal/matrix"
+)
+
+func randEmbedding(n, m, d int, rng *rand.Rand) *Embedding {
+	src := matrix.NewDense(n, d)
+	dst := matrix.NewDense(m, d)
+	for i := range src.Data {
+		src.Data[i] = rng.NormFloat64()
+	}
+	for i := range dst.Data {
+		dst.Data[i] = rng.NormFloat64()
+	}
+	return &Embedding{Src: src, Dst: dst, SimFromDist2: func(d2 float64) float64 { return -d2 }}
+}
+
+// perturbRows rewrites a few random rows of m and returns their indices.
+func perturbRows(m *matrix.Dense, count int, rng *rand.Rand) []int {
+	seen := map[int]bool{}
+	for len(seen) < count {
+		seen[rng.Intn(m.Rows)] = true
+	}
+	var rows []int
+	for i := range seen {
+		for t := 0; t < m.Cols; t++ {
+			m.Set(i, t, rng.NormFloat64())
+		}
+		rows = append(rows, i)
+	}
+	return rows
+}
+
+func candsEqual(t *testing.T, tag string, a, b *Candidates) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.K != b.K {
+		t.Fatalf("%s: shape differs: %dx%d k=%d vs %dx%d k=%d", tag, a.Rows, a.Cols, a.K, b.Rows, b.Cols, b.K)
+	}
+	if !reflect.DeepEqual(a.Col, b.Col) || !reflect.DeepEqual(a.Val, b.Val) || !reflect.DeepEqual(a.Len, b.Len) {
+		for i := 0; i < a.Rows; i++ {
+			ac, av := a.Row(i)
+			bc, bv := b.Row(i)
+			if !reflect.DeepEqual(ac, bc) || !reflect.DeepEqual(av, bv) {
+				t.Fatalf("%s: row %d differs:\n  got  %v %v\n  want %v %v", tag, i, ac, av, bc, bv)
+			}
+		}
+		t.Fatalf("%s: candidate sets differ outside live rows (padding/Len)", tag)
+	}
+}
+
+// The incremental embedding update must be indistinguishable from a bulk
+// rebuild — bitwise — across the tree (d<8), specialized (d=8) and generic
+// brute-force (d>8) kernels, and its dirty set must be exactly the rows whose
+// lists changed.
+func TestUpdateTopKEmbeddingMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{4, 8, 16} {
+		for trial := 0; trial < 10; trial++ {
+			n, m, k := 40+rng.Intn(20), 50+rng.Intn(20), 5
+			e := randEmbedding(n, m, d, rng)
+			prev := TopKEmbedding(e, k, 1)
+			// New embedding: copy, then move a few rows on each side.
+			e2 := randEmbedding(n, m, d, rng)
+			copy(e2.Src.Data, e.Src.Data)
+			copy(e2.Dst.Data, e.Dst.Data)
+			changedRows := perturbRows(e2.Src, 1+rng.Intn(3), rng)
+			changedCols := perturbRows(e2.Dst, 1+rng.Intn(3), rng)
+
+			bulk := TopKEmbedding(e2, k, 1)
+			upd, dirty := UpdateTopKEmbedding(prev, e2, changedRows, changedCols, 1)
+			candsEqual(t, "embedding-update", upd, bulk)
+			if want := DiffRows(prev, bulk); !reflect.DeepEqual(dirty, want) {
+				t.Fatalf("d=%d trial %d: dirty = %v, want %v", d, trial, dirty, want)
+			}
+		}
+	}
+}
+
+func TestUpdateTopKEmbeddingNoChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := randEmbedding(30, 40, 8, rng)
+	prev := TopKEmbedding(e, 4, 1)
+	upd, dirty := UpdateTopKEmbedding(prev, e, nil, nil, 1)
+	candsEqual(t, "embedding-nochange", upd, prev)
+	if len(dirty) != 0 {
+		t.Fatalf("no-op update reported dirty rows %v", dirty)
+	}
+	// The update returns a private copy, never an alias of prev's storage.
+	if &upd.Col[0] == &prev.Col[0] {
+		t.Fatal("update aliases previous candidate storage")
+	}
+}
+
+func randFactors(n, m, rank int, rng *rand.Rand) *FactorEmbedding {
+	f := &FactorEmbedding{Us: make([][]float64, rank), Vs: make([][]float64, rank), Weights: make([]float64, rank)}
+	for t := 0; t < rank; t++ {
+		f.Us[t] = make([]float64, n)
+		f.Vs[t] = make([]float64, m)
+		for i := range f.Us[t] {
+			f.Us[t][i] = rng.NormFloat64()
+		}
+		for j := range f.Vs[t] {
+			f.Vs[t][j] = rng.NormFloat64()
+		}
+		f.Weights[t] = rng.Float64()
+	}
+	return f
+}
+
+// The incremental factor update must match a bulk TopKFactor bitwise,
+// including rows that shrink or grow through NaN pruning.
+func TestUpdateTopKFactorMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n, m, rank, k := 30+rng.Intn(20), 40+rng.Intn(20), 3, 5
+		f := randFactors(n, m, rank, rng)
+		prev := TopKFactor(f, k, 1)
+
+		f2 := f.Clone()
+		var changedRows, changedCols []int
+		for c := 0; c <= rng.Intn(2); c++ {
+			i := rng.Intn(n)
+			f2.Us[rng.Intn(rank)][i] = rng.NormFloat64()
+			changedRows = append(changedRows, i)
+		}
+		for c := 0; c <= rng.Intn(3); c++ {
+			j := rng.Intn(m)
+			f2.Vs[rng.Intn(rank)][j] = rng.NormFloat64()
+			changedCols = append(changedCols, j)
+		}
+		bulk := TopKFactor(f2, k, 1)
+		upd, dirty := UpdateTopKFactor(prev, f2, changedRows, changedCols, 1)
+		candsEqual(t, "factor-update", upd, bulk)
+		if want := DiffRows(prev, bulk); !reflect.DeepEqual(dirty, want) {
+			t.Fatalf("trial %d: dirty = %v, want %v", trial, dirty, want)
+		}
+	}
+}
+
+// Large deltas take the bulk-rebuild shortcut; the result must still match.
+func TestUpdateTopKFactorLargeDeltaShortcut(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, m, rank, k := 20, 25, 2, 4
+	f := randFactors(n, m, rank, rng)
+	prev := TopKFactor(f, k, 1)
+	f2 := f.Clone()
+	var changedCols []int
+	for j := 0; j < m; j++ {
+		f2.Vs[0][j] = rng.NormFloat64()
+		changedCols = append(changedCols, j)
+	}
+	bulk := TopKFactor(f2, k, 1)
+	upd, dirty := UpdateTopKFactor(prev, f2, nil, changedCols, 1)
+	candsEqual(t, "factor-shortcut", upd, bulk)
+	if want := DiffRows(prev, bulk); !reflect.DeepEqual(dirty, want) {
+		t.Fatalf("dirty = %v, want %v", dirty, want)
+	}
+}

@@ -103,6 +103,12 @@ type RunSpec struct {
 	// nil, partitioned runs reuse the run's single aligner and the shards
 	// are aligned sequentially instead of in parallel.
 	NewAligner func() (algo.Aligner, error)
+	// Incremental, when non-nil, routes the run through the evolving-graph
+	// mode: cold-align once, then replay the spec's edit batches with
+	// warm-started re-alignment (see IncrementalSpec). Takes precedence
+	// over Partitions; the assignment method is fixed to the warm-startable
+	// auction.
+	Incremental *IncrementalSpec
 }
 
 // RunInstanceCtx is the fault-tolerant run entry point: the similarity stage
@@ -157,6 +163,9 @@ func RunInstanceMapped(ctx context.Context, a algo.Aligner, pair noise.Pair, met
 		}
 	}()
 
+	if spec.Incremental != nil {
+		return runInstanceIncremental(ctx, a, pair, spec, run, reg)
+	}
 	if spec.Partitions >= 2 {
 		return runInstancePartitioned(ctx, a, pair, method, spec, run, reg)
 	}

@@ -1,0 +1,688 @@
+// Package incremental implements the evolving-graph alignment mode: a
+// Session holds one (source, target) alignment and re-aligns after each
+// batch of edge edits to the target by reusing everything the edit did not
+// invalidate — per-component cache artifacts, the per-row top-k candidate
+// lists, and the auction solver's price vector (warm start). Re-alignment
+// cost then scales with the size of the edit's footprint instead of the
+// instance, while the result keeps the cold sparse pipeline's accuracy
+// contract: the matched total stays within Cols·FinalEps of the candidate-
+// graph optimum, and an empty edit batch reproduces the previous mapping
+// byte-for-byte. See DESIGN.md §16.
+package incremental
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"graphalign/internal/algo"
+	"graphalign/internal/assign"
+	"graphalign/internal/cache"
+	"graphalign/internal/graph"
+	"graphalign/internal/matrix"
+	"graphalign/internal/obsv"
+)
+
+// Options configures a Session. TopK is required; the zero value of every
+// other field is a sensible default.
+type Options struct {
+	// TopK is the sparse pipeline's per-row candidate count (required > 0).
+	TopK int
+	// Workers bounds intra-session parallelism (candidate generation and
+	// auction bidding); 0 means one per CPU. Results are identical for any
+	// value.
+	Workers int
+	// DriftThreshold is the fraction of candidate rows that may go dirty in
+	// one apply before the warm start is abandoned for a cold solve (a warm
+	// start that re-bids most rows does strictly more work than a cold
+	// ε-scaled solve and loses its price-seeding advantage). <= 0 means the
+	// default 0.5; >= 1 disables the gate.
+	DriftThreshold float64
+	// ColTolerance controls which embedding rows count as changed after a
+	// refresh. 0 compares bitwise — exact, but global-basis methods (REGAL's
+	// Nyström landmarks, NSD's SVD) move every row a little on any edit, so
+	// bitwise comparison marks everything dirty. > 0 treats a row as changed
+	// only when max|new-old| / (max|old| + 1e-12) exceeds it; rows within
+	// tolerance keep their previous embedding (and hence candidate lists)
+	// until accumulated movement since their last refresh crosses the
+	// threshold, bounding the staleness. < 0 forces every row dirty on every
+	// apply (a debugging knob: full rebuild through the incremental path).
+	ColTolerance float64
+	// DirtyHops, when positive, restricts each apply's target-side refresh
+	// to nodes within that many hops (pre- or post-edit adjacency) of an
+	// edited endpoint — the structural dirty set. Global-basis aligners
+	// (REGAL, NSD) move every embedding row a little on any edit; the hop
+	// bound keeps the refresh footprint proportional to the edit instead of
+	// the graph, trading bounded staleness far from the edit for
+	// incremental-scale work. 0 leaves the refresh purely
+	// tolerance-governed.
+	DirtyHops int
+	// Tracer receives one run span per Apply with refresh/candidates/solve
+	// phases; nil disables tracing.
+	Tracer *obsv.Tracer
+	// Registry receives the incr_* counters and histograms; when nil the
+	// Tracer's registry is used (nil-safe all the way down).
+	Registry *obsv.Registry
+	// Cache, when set, is attached to the aligner (algo.Cacheable) and used
+	// for per-component artifact reuse accounting across edits.
+	Cache *cache.Cache
+}
+
+// ApplyStats describes one Apply call.
+type ApplyStats struct {
+	// Edits is the number of edit operations in the batch.
+	Edits int
+	// ChangedRows / ChangedCols are the embedding rows (source side) and
+	// columns (target side) that moved beyond ColTolerance in the refresh.
+	ChangedRows int
+	ChangedCols int
+	// DirtyRows is the number of candidate rows whose top-k lists actually
+	// changed — the warm auction's re-bid set.
+	DirtyRows int
+	// AugmentedRows is the number of rows holding a matchability-repair
+	// candidate (see assign.AugmentEmbedding); 0 when the top-k lists already
+	// admit a row-perfect matching.
+	AugmentedRows int
+	// ComponentHits counts target-graph connected components whose
+	// per-component cache artifacts survived the edit (0 without a cache).
+	ComponentHits int
+	// Warm reports whether the solve was warm-started; false means a cold
+	// fallback (drift gate tripped, unusable previous state, or warm solve
+	// failure).
+	Warm bool
+	// RebidRows and Rounds are the warm solve's SparseStats counters (zero
+	// for cold solves' RebidRows).
+	RebidRows int
+	Rounds    int
+	// Noop reports an empty edit batch.
+	Noop bool
+	// RefreshTime covers the embedding/factor recompute and change
+	// detection; CandidateTime the incremental top-k update; SolveTime the
+	// assignment.
+	RefreshTime   time.Duration
+	CandidateTime time.Duration
+	SolveTime     time.Duration
+}
+
+// Session is one incremental alignment: a fixed source graph aligned to an
+// evolving target. All methods are safe for concurrent use (serialized
+// internally); the embedding/candidate/price state is private to the
+// session.
+type Session struct {
+	mu sync.Mutex
+	a  algo.Aligner
+	ea algo.EmbeddingAligner
+	fa algo.FactorAligner
+	// ie/ifa are the aligner's incremental refresh capabilities when it has
+	// them (algo.IncrementalEmbedder / algo.IncrementalFactorer); nil falls
+	// back to full recompute + row diff on every apply.
+	ie   algo.IncrementalEmbedder
+	ifa  algo.IncrementalFactorer
+	opts Options
+	reg  *obsv.Registry
+
+	src, dst *graph.Graph
+	emb      *assign.Embedding
+	fac      *assign.FactorEmbedding
+	cands    *assign.Candidates
+	// solve is the solver-facing candidate set: the base lists made
+	// row-saturating by assign.Augment* so the auction never has to refuse
+	// the instance (low-rank similarities routinely violate Hall's condition
+	// and would otherwise force the dense-JV fallback on every apply, which
+	// leaves no auction state to warm-start from). augCol records each row's
+	// added column (-1 none; nil when the base was already matchable).
+	solve *assign.Candidates
+	// augCol records each row's repair column; augSeed is the base-graph
+	// matching the repair grew from, fed back as the next apply's seed so the
+	// unmatched set stays stable across small edits.
+	augCol  []int
+	augSeed []int
+	mapping []int
+	state   assign.AuctionState
+	// warmable is false when the last solve left no usable auction state
+	// (dense-JV fallback); the next Apply then cold-solves regardless of
+	// drift.
+	warmable bool
+	applies  int
+}
+
+// ErrNotIncremental reports an aligner exposing neither embeddings nor
+// explicit factors — the incremental pipeline has nothing to update
+// per-row for dense-only methods.
+var ErrNotIncremental = errors.New("incremental: aligner exposes neither embeddings nor factors")
+
+// NewSession cold-aligns src to dst with a and returns a session warm for
+// subsequent Apply calls. The aligner must implement algo.EmbeddingAligner
+// or algo.FactorAligner (the same precedence as the sparse pipeline:
+// embeddings win when both are available) and must not be shared with
+// concurrent users.
+func NewSession(ctx context.Context, a algo.Aligner, src, dst *graph.Graph, opts Options) (*Session, error) {
+	if opts.TopK <= 0 {
+		return nil, fmt.Errorf("incremental: TopK must be positive, got %d", opts.TopK)
+	}
+	if opts.DriftThreshold <= 0 {
+		opts.DriftThreshold = 0.5
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = opts.Tracer.Registry()
+	}
+	algo.ApplyCache(a, opts.Cache)
+	s := &Session{a: a, opts: opts, reg: reg, src: src, dst: dst}
+	s.ea, _ = a.(algo.EmbeddingAligner)
+	if s.ea != nil {
+		s.ie, _ = a.(algo.IncrementalEmbedder)
+	} else {
+		s.fa, _ = a.(algo.FactorAligner)
+		if s.fa == nil {
+			return nil, ErrNotIncremental
+		}
+		s.ifa, _ = a.(algo.IncrementalFactorer)
+	}
+	if err := s.refresh(ctx, dst); err != nil {
+		return nil, err
+	}
+	if s.emb != nil {
+		s.cands = assign.TopKEmbedding(s.emb, opts.TopK, opts.Workers)
+	} else {
+		s.cands = assign.TopKFactor(s.fac, opts.TopK, opts.Workers)
+	}
+	s.augmentCandidates(nil, nil)
+	if err := s.coldSolve(); err != nil {
+		return nil, err
+	}
+	s.touchComponents(dst)
+	reg.Counter("incr_sessions_total").Add(1)
+	return s, nil
+}
+
+// Mapping returns a copy of the current alignment (mapping[u] = target node
+// aligned to source node u).
+func (s *Session) Mapping() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.mapping...)
+}
+
+// Target returns the current (post-edits) target graph. Graphs are
+// immutable, so the caller may read it freely.
+func (s *Session) Target() *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dst
+}
+
+// Source returns the session's fixed source graph.
+func (s *Session) Source() *graph.Graph { return s.src }
+
+// Applies returns the number of completed Apply calls.
+func (s *Session) Applies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applies
+}
+
+// Apply applies one batch of target-graph edits and re-aligns. With an
+// empty batch the refresh reproduces the previous state bitwise (the
+// similarity stages are pure functions of the graphs), no candidate row
+// goes dirty, the warm solve runs zero bidding rounds, and the mapping is
+// byte-identical to the previous one.
+func (s *Session) Apply(ctx context.Context, edits []graph.Edit) (ApplyStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ApplyStats{Edits: len(edits), Noop: len(edits) == 0}
+	newDst, err := graph.ApplyEdits(s.dst, edits)
+	if err != nil {
+		return st, err
+	}
+	run := s.opts.Tracer.StartRun(s.a.Name(), map[string]any{
+		"mode":  "incremental-apply",
+		"edits": len(edits),
+		"n_dst": newDst.N(),
+	})
+
+	sp := run.Phase("refresh")
+	t0 := time.Now()
+	scope := dirtyScope(s.dst, newDst, edits, s.opts.DirtyHops)
+	var changedRows, changedCols []int
+	if s.emb != nil {
+		changedRows, changedCols, err = s.refreshEmbedding(ctx, newDst, scope)
+	} else {
+		changedRows, changedCols, err = s.refreshFactors(ctx, newDst, scope)
+	}
+	st.RefreshTime = time.Since(t0)
+	sp.End()
+	if err != nil {
+		run.Set("err", err.Error())
+		run.End()
+		return st, fmt.Errorf("incremental refresh: %w", err)
+	}
+	st.ChangedRows, st.ChangedCols = len(changedRows), len(changedCols)
+
+	sp = run.Phase("candidates")
+	t1 := time.Now()
+	// With ColTolerance > 0 the caller has already accepted bounded
+	// staleness, so the merge-based candidate update (exact values, bounded
+	// membership staleness, O(changedCols) per row) replaces the exact update
+	// (whose conservative probe degenerates to rescanning most rows once a
+	// few hundred columns move). Exact mode keeps the bitwise-exact update.
+	var next *assign.Candidates
+	var dirty []int
+	switch {
+	case s.emb != nil && s.opts.ColTolerance > 0:
+		next, dirty = assign.MergeTopKEmbedding(s.cands, s.emb, changedRows, changedCols, s.opts.Workers)
+	case s.emb != nil:
+		next, dirty = assign.UpdateTopKEmbedding(s.cands, s.emb, changedRows, changedCols, s.opts.Workers)
+	case s.opts.ColTolerance > 0:
+		next, dirty = assign.MergeTopKFactor(s.cands, s.fac, changedRows, changedCols, s.opts.Workers)
+	default:
+		next, dirty = assign.UpdateTopKFactor(s.cands, s.fac, changedRows, changedCols, s.opts.Workers)
+	}
+	s.cands = next
+	// Re-derive the solver-facing augmented set from the merged lists; rows
+	// whose augmented entry moved join the dirty set (their solver-visible
+	// bytes changed even when their base list did not).
+	dirty = unionAsc(dirty, s.augmentCandidates(changedRows, changedCols))
+	st.CandidateTime = time.Since(t1)
+	sp.Set("dirty_rows", len(dirty))
+	sp.End()
+	st.DirtyRows = len(dirty)
+	for _, j := range s.augCol {
+		if j >= 0 {
+			st.AugmentedRows++
+		}
+	}
+
+	sp = run.Phase("solve")
+	t2 := time.Now()
+	tryWarm := s.warmable &&
+		float64(len(dirty)) <= s.opts.DriftThreshold*float64(next.Rows)
+	if tryWarm {
+		mapping, state, stats, ok := assign.SolveAuctionWarm(s.solve, s.mapping, s.state, dirty, s.opts.Workers)
+		if ok {
+			s.mapping, s.state = mapping, state
+			st.Warm, st.RebidRows, st.Rounds = true, stats.RebidRows, stats.Rounds
+		} else {
+			tryWarm = false
+		}
+	}
+	if !tryWarm {
+		if err := s.coldSolve(); err != nil {
+			sp.End()
+			run.Set("err", err.Error())
+			run.End()
+			return st, err
+		}
+		s.reg.Counter("incr_cold_fallbacks_total").Add(1)
+	}
+	st.SolveTime = time.Since(t2)
+	sp.Set("warm", st.Warm)
+	sp.End()
+
+	s.dst = newDst
+	st.ComponentHits = s.touchComponents(newDst)
+	s.applies++
+	s.reg.Counter("incr_applies_total").Add(1)
+	if st.Noop {
+		s.reg.Counter("incr_noop_total").Add(1)
+	}
+	s.reg.Counter("incr_cache_component_hits_total").Add(int64(st.ComponentHits))
+	s.reg.Histogram("incr_dirty_rows", obsv.SizeBuckets()).Observe(float64(st.DirtyRows))
+	s.reg.Histogram("incr_dirty_cols", obsv.SizeBuckets()).Observe(float64(st.ChangedCols))
+	s.reg.Histogram("incr_rebid_rounds", obsv.SizeBuckets()).Observe(float64(st.Rounds))
+	s.reg.Histogram("incr_augmented_rows", obsv.SizeBuckets()).Observe(float64(st.AugmentedRows))
+	run.End()
+	return st, nil
+}
+
+// refresh recomputes the similarity stage for the given target and installs
+// it wholesale (the initial cold start). Refresh-capable aligners are primed
+// through their refresher so the first Apply already finds captured state;
+// a refresher's first call runs the same full pipeline, bitwise.
+func (s *Session) refresh(ctx context.Context, dst *graph.Graph) error {
+	if s.ea != nil {
+		var emb *assign.Embedding
+		var err error
+		if s.ie != nil {
+			emb, err = s.ie.RefreshEmbeddingsCtx(ctx, s.src, dst, nil)
+		} else {
+			emb, err = s.ea.EmbeddingsCtx(ctx, s.src, dst)
+		}
+		if err != nil {
+			return fmt.Errorf("embeddings: %w", err)
+		}
+		s.emb = emb
+		return nil
+	}
+	var fac *assign.FactorEmbedding
+	var err error
+	if s.ifa != nil {
+		fac, err = s.ifa.RefreshFactorsCtx(ctx, s.src, dst)
+	} else {
+		fac, err = s.fa.FactorsCtx(ctx, s.src, dst)
+	}
+	if err != nil {
+		return fmt.Errorf("factors: %w", err)
+	}
+	s.fac = fac
+	return nil
+}
+
+// refreshEmbedding recomputes embeddings for the edited target and patches
+// the rows that moved beyond tolerance into the session's effective
+// embedding, returning the changed source rows and target columns. Rows
+// within tolerance keep their previous vectors so the effective embedding
+// stays bitwise-consistent with the retained candidate lists — the contract
+// assign.UpdateTopKEmbedding requires — and so staleness is measured
+// against each row's last refresh, not the last apply.
+func (s *Session) refreshEmbedding(ctx context.Context, dst *graph.Graph, scope []bool) (changedRows, changedCols []int, err error) {
+	// A refresh-capable aligner recomputes only inside the dirty scope and
+	// returns everything else bitwise from its captured state — the dominant
+	// per-apply saving; plain aligners pay a full recompute and rely on the
+	// diff below.
+	var fresh *assign.Embedding
+	if s.ie != nil {
+		fresh, err = s.ie.RefreshEmbeddingsCtx(ctx, s.src, dst, scope)
+	} else {
+		fresh, err = s.ea.EmbeddingsCtx(ctx, s.src, dst)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if fresh.Src.Cols != s.emb.Src.Cols || fresh.Src.Rows != s.emb.Src.Rows ||
+		fresh.Dst.Rows != s.emb.Dst.Rows {
+		// Dimensionality drift (e.g. a rank change): replace wholesale and
+		// mark everything changed — UpdateTopKEmbedding then takes its bulk
+		// shortcut.
+		s.emb = fresh
+		return allIndices(fresh.Src.Rows), allIndices(fresh.Dst.Rows), nil
+	}
+	changedRows = changedDenseRows(s.emb.Src, fresh.Src, s.opts.ColTolerance)
+	changedCols = inScope(changedDenseRows(s.emb.Dst, fresh.Dst, s.opts.ColTolerance), scope)
+	for _, i := range changedRows {
+		copy(s.emb.Src.Row(i), fresh.Src.Row(i))
+	}
+	for _, j := range changedCols {
+		copy(s.emb.Dst.Row(j), fresh.Dst.Row(j))
+	}
+	return changedRows, changedCols, nil
+}
+
+// refreshFactors is refreshEmbedding for factored similarities. A row
+// counts as changed when its cross-term coefficient vector (Us[0][i], …,
+// Us[r-1][i]) moved beyond tolerance. Any change to the term weights or the
+// rank rescales every score, so those degrade to a full refresh.
+func (s *Session) refreshFactors(ctx context.Context, dst *graph.Graph, scope []bool) (changedRows, changedCols []int, err error) {
+	var fresh *assign.FactorEmbedding
+	if s.ifa != nil {
+		fresh, err = s.ifa.RefreshFactorsCtx(ctx, s.src, dst)
+	} else {
+		fresh, err = s.fa.FactorsCtx(ctx, s.src, dst)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if fresh.Rank() != s.fac.Rank() || fresh.Rows() != s.fac.Rows() ||
+		fresh.Cols() != s.fac.Cols() || !sameWeights(fresh.Weights, s.fac.Weights) {
+		s.fac = fresh
+		return allIndices(fresh.Rows()), allIndices(fresh.Cols()), nil
+	}
+	changedRows = changedFactorRows(s.fac.Us, fresh.Us, s.opts.ColTolerance)
+	changedCols = inScope(changedFactorRows(s.fac.Vs, fresh.Vs, s.opts.ColTolerance), scope)
+	for t := range fresh.Us {
+		for _, i := range changedRows {
+			s.fac.Us[t][i] = fresh.Us[t][i]
+		}
+		for _, j := range changedCols {
+			s.fac.Vs[t][j] = fresh.Vs[t][j]
+		}
+	}
+	return changedRows, changedCols, nil
+}
+
+// augmentCandidates rebuilds the solver-facing candidate set from the current
+// base lists (see assign.AugmentEmbedding) and returns, ascending, the rows
+// whose augmented entry changed since the previous solve — they must join the
+// warm solve's dirty set. changedRows/changedCols are this apply's refresh
+// deltas: an augmented entry's value is a pure function of its row's source
+// vector and its column's target vector, so it can only move when one of
+// those did, or when the repair picked a different column.
+func (s *Session) augmentCandidates(changedRows, changedCols []int) []int {
+	prev := s.augCol
+	if s.emb != nil {
+		s.solve, s.augCol, s.augSeed = assign.AugmentEmbedding(s.cands, s.emb, s.augSeed, prev)
+	} else {
+		s.solve, s.augCol, s.augSeed = assign.AugmentFactor(s.cands, s.fac, s.augSeed, prev)
+	}
+	if prev == nil && s.augCol == nil {
+		return nil
+	}
+	cr := make(map[int]bool, len(changedRows))
+	for _, i := range changedRows {
+		cr[i] = true
+	}
+	cc := make(map[int]bool, len(changedCols))
+	for _, j := range changedCols {
+		cc[j] = true
+	}
+	var out []int
+	for i := 0; i < s.cands.Rows; i++ {
+		pc, nc := -1, -1
+		if prev != nil {
+			pc = prev[i]
+		}
+		if s.augCol != nil {
+			nc = s.augCol[i]
+		}
+		if pc != nc || (nc >= 0 && (cc[nc] || cr[i])) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// unionAsc merges two ascending index lists without duplicates.
+func unionAsc(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// coldSolve runs the ε-scaling auction from scratch over the current
+// (augmented) candidates, capturing its price vector for the next warm
+// start; a tripped round cap degrades to the dense JV fallback, which yields
+// no reusable auction state.
+func (s *Session) coldSolve() error {
+	c := s.solve
+	if c == nil {
+		c = s.cands
+	}
+	mapping, state, _, ok := assign.SolveAuctionState(c, s.opts.Workers)
+	if ok {
+		s.mapping, s.state, s.warmable = mapping, state, true
+		return nil
+	}
+	var dense func() []int
+	if s.emb != nil {
+		dense = func() []int { return assign.SolveJV(s.emb.Similarity()) }
+	} else {
+		dense = func() []int { return assign.SolveJV(s.fac.Similarity()) }
+	}
+	s.mapping, s.state, s.warmable = dense(), assign.AuctionState{}, false
+	return nil
+}
+
+// touchComponents counts the target components whose per-component degree
+// artifact is already cached (survived the edit), then (re)materializes the
+// artifacts for the next apply. Returns 0 without a cache.
+func (s *Session) touchComponents(dst *graph.Graph) int {
+	c := s.opts.Cache
+	if c == nil {
+		return 0
+	}
+	view := cache.Components(c, dst)
+	hits := 0
+	for _, key := range view.Keys {
+		if c.Has(key + "/degrees") {
+			hits++
+		}
+	}
+	cache.DegreesDelta(c, dst)
+	return hits
+}
+
+// dirtyScope returns the Options.DirtyHops target-side node filter: true
+// for nodes within hops of an edited endpoint, walking both the pre- and
+// post-edit adjacency (a removed edge's far side is only reachable through
+// the old graph). nil means unrestricted (hops <= 0 or an empty batch).
+func dirtyScope(before, after *graph.Graph, edits []graph.Edit, hops int) []bool {
+	if hops <= 0 || len(edits) == 0 {
+		return nil
+	}
+	allowed := make([]bool, after.N())
+	frontier := graph.Touched(edits)
+	for _, u := range frontier {
+		if u >= 0 && u < len(allowed) {
+			allowed[u] = true
+		}
+	}
+	for hop := 0; hop < hops; hop++ {
+		var next []int
+		for _, u := range frontier {
+			for _, g := range [2]*graph.Graph{before, after} {
+				if u < 0 || u >= g.N() {
+					continue
+				}
+				for _, v := range g.Neighbors(u) {
+					if !allowed[v] {
+						allowed[v] = true
+						next = append(next, v)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return allowed
+}
+
+// inScope filters indices down to those the scope allows (nil allows all).
+func inScope(indices []int, scope []bool) []int {
+	if scope == nil {
+		return indices
+	}
+	out := indices[:0]
+	for _, i := range indices {
+		if scope[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// changedDenseRows returns the rows of fresh whose vectors moved beyond tol
+// relative to old (see Options.ColTolerance), ascending.
+func changedDenseRows(old, fresh *matrix.Dense, tol float64) []int {
+	var changed []int
+	for i := 0; i < old.Rows; i++ {
+		if rowChanged(old.Row(i), fresh.Row(i), tol) {
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// changedFactorRows is changedDenseRows over a factor list's cross-term
+// coefficient vectors: position i's vector is (lists[0][i], …,
+// lists[r-1][i]).
+func changedFactorRows(old, fresh [][]float64, tol float64) []int {
+	if len(old) == 0 {
+		return nil
+	}
+	var changed []int
+	n := len(old[0])
+	ov := make([]float64, len(old))
+	fv := make([]float64, len(old))
+	for i := 0; i < n; i++ {
+		for t := range old {
+			ov[t], fv[t] = old[t][i], fresh[t][i]
+		}
+		if rowChanged(ov, fv, tol) {
+			changed = append(changed, i)
+		}
+	}
+	return changed
+}
+
+// rowChanged implements the Options.ColTolerance comparison for one vector.
+func rowChanged(old, fresh []float64, tol float64) bool {
+	if tol < 0 {
+		return true
+	}
+	if tol == 0 {
+		for t := range old {
+			if old[t] != fresh[t] {
+				return true
+			}
+		}
+		return false
+	}
+	var maxDiff, maxAbs float64
+	for t := range old {
+		if d := math.Abs(fresh[t] - old[t]); d > maxDiff {
+			maxDiff = d
+		}
+		if a := math.Abs(old[t]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxDiff/(maxAbs+1e-12) > tol
+}
+
+// sameWeights compares factor weight vectors bitwise (nil means all-ones,
+// distinct from any explicit vector of a different meaning only when
+// lengths differ — the rank check upstream handles that).
+func sameWeights(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allIndices returns [0, n).
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphalign/internal/graph"
+)
+
+// EditBatch draws one batch of graph edits in the Multi-Modal shape the
+// paper's noise model uses (remove a fraction of edges, add the same number
+// of previously-absent ones) — but expressed as an explicit edit stream
+// rather than a rebuilt graph, so it doubles as the delta format of the
+// incremental alignment mode: applying the returned batch with
+// graph.ApplyEdits(g, batch) yields a graph drawn from the same distribution
+// RemoveAndAddEdges samples.
+//
+// level is the fraction of g's edges removed (and re-added elsewhere);
+// deterministic given rng. The batch lists removals first, then additions,
+// and is always applicable to g in order.
+func EditBatch(g *graph.Graph, level float64, rng *rand.Rand) ([]graph.Edit, error) {
+	if level < 0 || level >= 1 {
+		return nil, fmt.Errorf("noise: level %v out of [0,1)", level)
+	}
+	m := g.M()
+	toRemove := int(level*float64(m) + 0.5)
+	if toRemove == 0 {
+		return nil, nil
+	}
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	batch := make([]graph.Edit, 0, 2*toRemove)
+	forbidden := make(map[graph.Edge]bool, m+toRemove)
+	for _, e := range g.Edges() {
+		forbidden[e.Canon()] = true
+	}
+	for _, e := range edges[:toRemove] {
+		c := e.Canon()
+		batch = append(batch, graph.Edit{Op: graph.EditRemove, U: c.U, V: c.V})
+	}
+	// Additions are drawn from the non-edges of g itself (not the reduced
+	// graph), exactly like RemoveAndAddEdges: a removed edge is never
+	// silently re-inserted within the batch.
+	n := g.N()
+	added := 0
+	for tries := 0; added < toRemove && tries < 100*toRemove+1000; tries++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canon()
+		if forbidden[e] {
+			continue
+		}
+		forbidden[e] = true
+		batch = append(batch, graph.Edit{Op: graph.EditAdd, U: e.U, V: e.V})
+		added++
+	}
+	return batch, nil
+}
+
+// EditStream draws batches consecutive edit batches, each applicable to the
+// graph produced by the previous one starting from g, and returns them with
+// the final graph. This is the evolving-graph workload generator behind
+// `alignrun -edit-batches` and the incremental benchmarks.
+func EditStream(g *graph.Graph, batches int, level float64, rng *rand.Rand) ([][]graph.Edit, *graph.Graph, error) {
+	out := make([][]graph.Edit, 0, batches)
+	cur := g
+	for b := 0; b < batches; b++ {
+		batch, err := EditBatch(cur, level, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		next, err := graph.ApplyEdits(cur, batch)
+		if err != nil {
+			return nil, nil, fmt.Errorf("noise: batch %d not applicable: %w", b, err)
+		}
+		out = append(out, batch)
+		cur = next
+	}
+	return out, cur, nil
+}

@@ -1,0 +1,118 @@
+package noise
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphalign/internal/graph"
+)
+
+func TestEditBatchMatchesNoiseModel(t *testing.T) {
+	g := randomGraphForTest(t, 200, 600, 1)
+	rng := rand.New(rand.NewSource(7))
+	batch, err := EditBatch(g, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toRemove := int(0.05*float64(g.M()) + 0.5)
+	if len(batch) != 2*toRemove {
+		t.Fatalf("batch has %d edits, want %d", len(batch), 2*toRemove)
+	}
+	for i, e := range batch {
+		if i < toRemove && e.Op != graph.EditRemove {
+			t.Fatalf("edit %d: removals must come first", i)
+		}
+		if i >= toRemove && e.Op != graph.EditAdd {
+			t.Fatalf("edit %d: additions must come last", i)
+		}
+	}
+	h, err := graph.ApplyEdits(g, batch)
+	if err != nil {
+		t.Fatalf("batch not applicable: %v", err)
+	}
+	if h.M() != g.M() {
+		t.Fatalf("edge count drifted: %d -> %d", g.M(), h.M())
+	}
+	// Deterministic given the rng seed.
+	again, err := EditBatch(g, 0.05, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(batch) {
+		t.Fatal("EditBatch not deterministic")
+	}
+	for i := range batch {
+		if batch[i] != again[i] {
+			t.Fatalf("EditBatch not deterministic at %d: %v vs %v", i, batch[i], again[i])
+		}
+	}
+}
+
+func TestEditBatchZeroLevel(t *testing.T) {
+	g := randomGraphForTest(t, 50, 100, 2)
+	batch, err := EditBatch(g, 0, rand.New(rand.NewSource(1)))
+	if err != nil || len(batch) != 0 {
+		t.Fatalf("level 0 must yield an empty batch, got %d edits, err %v", len(batch), err)
+	}
+	if _, err := EditBatch(g, 1.0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("level 1.0 must be rejected")
+	}
+}
+
+func TestEditStreamConsecutive(t *testing.T) {
+	g := randomGraphForTest(t, 120, 400, 3)
+	batches, final, err := EditStream(g, 4, 0.02, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 4 {
+		t.Fatalf("got %d batches, want 4", len(batches))
+	}
+	cur := g
+	for i, b := range batches {
+		next, err := graph.ApplyEdits(cur, b)
+		if err != nil {
+			t.Fatalf("batch %d not applicable in sequence: %v", i, err)
+		}
+		cur = next
+	}
+	if cur.M() != final.M() || cur.N() != final.N() {
+		t.Fatal("replaying batches does not reach the returned final graph")
+	}
+	ce, fe := cur.Edges(), final.Edges()
+	for i := range ce {
+		if ce[i] != fe[i] {
+			t.Fatalf("edge %d differs after replay: %v vs %v", i, ce[i], fe[i])
+		}
+	}
+}
+
+func randomGraphForTest(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[graph.Edge]bool, m)
+	edges := make([]graph.Edge, 0, m)
+	// Spanning path keeps the graph connected.
+	for u := 0; u+1 < n; u++ {
+		e := graph.Edge{U: u, V: u + 1}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canon()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -7,8 +7,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
-	"time"
 	"testing"
+	"time"
 )
 
 // TestWritePrometheusGolden pins the full exposition text for a small

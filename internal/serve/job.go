@@ -210,18 +210,29 @@ type JobView struct {
 // Result carries a finished job's alignment: mapping[u] is the dense id of
 // the dst node aligned to src node u (-1 = unmatched), with the four
 // ground-truth-free quality scores and the sim/assign wall-time split.
+// Mapping is one page of the full mapping — MappingOffset is the dense id of
+// its first entry and MappingTotal the full length, so clients can page
+// through large results with GET /v1/jobs/{id}?offset=&limit= instead of
+// pulling one n=100k array in a single response.
 type Result struct {
-	Mapping      []int   `json:"mapping"`
-	EC           float64 `json:"ec"`
-	ICS          float64 `json:"ics"`
-	S3           float64 `json:"s3"`
-	MNC          float64 `json:"mnc"`
-	SimTimeMS    float64 `json:"sim_time_ms"`
-	AssignTimeMS float64 `json:"assign_time_ms"`
+	Mapping       []int   `json:"mapping"`
+	MappingOffset int     `json:"mapping_offset"`
+	MappingTotal  int     `json:"mapping_total"`
+	EC            float64 `json:"ec"`
+	ICS           float64 `json:"ics"`
+	S3            float64 `json:"s3"`
+	MNC           float64 `json:"mnc"`
+	SimTimeMS     float64 `json:"sim_time_ms"`
+	AssignTimeMS  float64 `json:"assign_time_ms"`
 }
 
-// View snapshots the job for the API.
-func (j *Job) View() JobView {
+// View snapshots the job for the API with the full mapping.
+func (j *Job) View() JobView { return j.ViewPage(0, 0) }
+
+// ViewPage is View returning only a page of the mapping: offset is clamped
+// to [0, total], limit 0 means "to the end". Everything else in the view is
+// unaffected.
+func (j *Job) ViewPage(offset, limit int) JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
@@ -248,9 +259,12 @@ func (j *Job) View() JobView {
 		v.ErrorKind = j.errKind
 	}
 	if j.status == StatusDone {
+		page, off := pageMapping(j.mapping, offset, limit)
 		v.Result = &Result{
-			Mapping: j.mapping,
-			EC:      j.scores.EC, ICS: j.scores.ICS, S3: j.scores.S3, MNC: j.scores.MNC,
+			Mapping:       page,
+			MappingOffset: off,
+			MappingTotal:  len(j.mapping),
+			EC:            j.scores.EC, ICS: j.scores.ICS, S3: j.scores.S3, MNC: j.scores.MNC,
 			SimTimeMS:    float64(j.simTime) / float64(time.Millisecond),
 			AssignTimeMS: float64(j.asgTime) / float64(time.Millisecond),
 		}

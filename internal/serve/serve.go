@@ -27,6 +27,7 @@ import (
 	"graphalign/internal/cache"
 	"graphalign/internal/core"
 	"graphalign/internal/graph"
+	"graphalign/internal/incremental"
 	"graphalign/internal/metrics"
 	"graphalign/internal/noise"
 	"graphalign/internal/obsv"
@@ -77,6 +78,11 @@ type Options struct {
 	// KeepJobs bounds how many terminal jobs are retained for GET before the
 	// oldest are dropped (default 1024).
 	KeepJobs int
+	// MaxSessions bounds the live incremental sessions (default 16). Unlike
+	// jobs, sessions hold embeddings, candidate lists and auction state in
+	// memory for their whole lifetime, so the table is kept small; full
+	// tables reject with ErrSessionsFull.
+	MaxSessions int
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +100,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeepJobs <= 0 {
 		o.KeepJobs = 1024
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 16
 	}
 	if o.Registry == nil {
 		o.Registry = obsv.NewRegistry()
@@ -125,6 +134,11 @@ type Server struct {
 	jobs  map[string]*Job
 	order []string // submission order, for listing and bounded retention
 
+	// sessions is the bounded incremental-session table; a nil value marks a
+	// slot reserved while its cold alignment is still running.
+	sessions   map[string]*SessionHandle
+	nextSessID atomic.Uint64
+
 	// ewmaJobNS tracks a decaying mean of job wall time (nanoseconds) for
 	// the Retry-After estimate.
 	ewmaJobNS atomic.Int64
@@ -146,21 +160,40 @@ func New(opts Options) (*Server, error) {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
+		sessions:  make(map[string]*SessionHandle),
 	}
 	if opts.CacheBudgetBytes > 0 {
 		s.cache = cache.New(opts.CacheBudgetBytes).SetRegistry(opts.Registry)
 	}
-	// Pre-register the outcome counters so /metrics exposes them at zero
-	// from the first scrape — rate() over a counter that appears only on its
-	// first increment misses the initial transition.
+	// Pre-register every metric series a scrape may want to rate() or alert
+	// on, so /metrics exposes them at zero from the first scrape — a counter
+	// that appears only on its first increment hides the initial transition,
+	// and a dashboard built before any partitioned/incremental traffic would
+	// otherwise see the series as absent rather than zero.
 	for _, name := range []string{
 		"serve_jobs_submitted_total", "serve_jobs_done_total",
 		"serve_jobs_failed_total", "serve_jobs_cancelled_total",
 		"serve_jobs_rejected_total", "serve_jobs_timeout_total",
 		"serve_jobs_panic_total", "serve_cancel_requests_total",
+		"serve_sessions_created_total", "serve_sessions_rejected_total",
+		"serve_session_edits_total",
+		"partition_runs_total", "partition_shard_errors_total",
+		"partition_rebid_moves_total",
 	} {
 		s.reg.Counter(name)
 	}
+	s.reg.Gauge("serve_queue_depth")
+	s.reg.Gauge("serve_jobs_running")
+	s.reg.Gauge("serve_sessions_open")
+	s.reg.Histogram("serve_queue_wait_seconds", obsv.DurationBuckets())
+	s.reg.Histogram("serve_job_seconds", obsv.DurationBuckets())
+	for _, name := range []string{
+		"partition_shards", "partition_boundary_nodes", "partition_refine_rounds",
+	} {
+		s.reg.Histogram(name, obsv.SizeBuckets())
+	}
+	s.reg.Histogram("partition_shard_seconds", obsv.DurationBuckets())
+	incremental.PreRegisterMetrics(s.reg)
 	s.wg.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go s.worker()
@@ -445,8 +478,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	// Cancel the base context: running jobs stop at their next iteration
-	// boundary, idle workers return.
+	// boundary, idle workers return. Sessions run under the same context, so
+	// in-flight applies abort too; the table is then dropped wholesale.
 	s.cancelAll()
+	s.drainSessions()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

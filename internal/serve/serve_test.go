@@ -25,8 +25,8 @@ type fakeAligner struct {
 	panicMsg string
 }
 
-func (f *fakeAligner) Name() string                      { return f.name }
-func (f *fakeAligner) DefaultAssignment() assign.Method  { return assign.NearestNeighbor }
+func (f *fakeAligner) Name() string                     { return f.name }
+func (f *fakeAligner) DefaultAssignment() assign.Method { return assign.NearestNeighbor }
 func (f *fakeAligner) Similarity(src, dst *graph.Graph) (*matrix.Dense, error) {
 	return f.SimilarityCtx(context.Background(), src, dst)
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Runs the incremental-alignment benchmark pair (steady-state warm Apply vs
+# cold re-alignment, REGAL + NSD) and writes BENCH_incremental.json:
+# a "_meta" header (commit, go version, GOMAXPROCS, instance size, and a
+# "speedup" map of aligner -> cold/warm ratio — the acceptance number
+# DESIGN.md §16 cites) followed by a flat map of benchmark name ->
+# {ns_per_op}. Consumers that iterate the map must skip the "_meta" key;
+# the speedup lives inside "_meta" so `alignstat bench` (which treats every
+# other key as a benchmark point) ignores it.
+#
+# Usage: scripts/bench_incremental.sh [output.json]
+# From the repo root. INCR_BENCH_N overrides the instance size (default
+# 10000); INCR_BENCH_TIME overrides -benchtime (default 3x — each iteration
+# is a full 1% edit batch, so time-based benchtime would run for minutes);
+# INCR_BENCH_RAW reuses a saved `go test -bench` output file instead of
+# re-running the (multi-minute) benchmarks.
+set -euo pipefail
+
+out="${1:-BENCH_incremental.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    commit="${commit}-dirty"
+fi
+gover="$(go env GOVERSION)"
+n="${INCR_BENCH_N:-10000}"
+benchtime="${INCR_BENCH_TIME:-3x}"
+
+if [ -n "${INCR_BENCH_RAW:-}" ] && [ -s "${INCR_BENCH_RAW}" ]; then
+    cat "$INCR_BENCH_RAW" > "$tmp"
+else
+    INCR_BENCH_N="$n" go test ./internal/incremental -run NONE \
+        -bench 'SteadyStateApply|ColdRealign' -benchtime "$benchtime" \
+        -timeout 60m -count=1 | tee "$tmp" >&2
+fi
+
+awk -v commit="$commit" -v gover="$gover" -v instn="$n" '
+BEGIN { n = 0; maxprocs = 1 }
+/^Benchmark/ {
+    name = $1
+    procs = name
+    if (sub(/^.*-/, "", procs) && procs + 0 > 0) maxprocs = procs + 0
+    sub(/-[0-9]+$/, "", name)       # strip GOMAXPROCS suffix
+    ns = ""
+    for (i = 2; i <= NF; i++) if ($(i) == "ns/op") ns = $(i - 1)
+    if (ns == "") next
+    names[n] = name
+    lines[n] = "{\"ns_per_op\": " ns "}"
+    nsv[name] = ns + 0
+    n++
+}
+END {
+    # cold/warm ratio per aligner: the steady-state speedup of the
+    # incremental session over a from-scratch re-alignment.
+    sep = ""
+    speed = ""
+    for (i = 0; i < n; i++) {
+        name = names[i]
+        if (name !~ /^BenchmarkSteadyStateApply\//) continue
+        inst = name
+        sub(/^BenchmarkSteadyStateApply\//, "", inst)
+        cold = "BenchmarkColdRealign/" inst
+        if (!(cold in nsv) || nsv[name] == 0) continue
+        speed = speed sep "\"" inst "\": " sprintf("%.2f", nsv[cold] / nsv[name])
+        sep = ", "
+    }
+    print "{"
+    printf "  \"_meta\": {\"commit\": \"%s\", \"go\": \"%s\", \"gomaxprocs\": %d, \"n\": %d", \
+        commit, gover, maxprocs, instn
+    if (speed != "") printf ", \"speedup\": {%s}", speed
+    printf "}"
+    for (i = 0; i < n; i++) printf ",\n  \"%s\": %s", names[i], lines[i]
+    print "\n}"
+}
+' "$tmp" > "$out"
+
+echo "wrote $out" >&2
